@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the software codec substrate:
+ * encode/decode throughput of the paper's three code points — the
+ * per-block RS(72,64), the 22-EC VLEW BCH, and the baseline 14-EC
+ * per-block BCH — under clean and errored inputs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+#include "ecc/rs.hh"
+
+namespace {
+
+using namespace nvck;
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(1);
+    std::vector<GfElem> data(64);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.below(256));
+    for (auto _ : state) {
+        auto cw = rs.encode(data);
+        benchmark::DoNotOptimize(cw);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_RsEncode);
+
+void
+BM_RsDecodeClean(benchmark::State &state)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(2);
+    std::vector<GfElem> data(64);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.below(256));
+    const auto clean = rs.encode(data);
+    for (auto _ : state) {
+        auto cw = clean;
+        auto res = rs.decode(cw);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_RsDecodeClean);
+
+void
+BM_RsDecodeErrors(benchmark::State &state)
+{
+    const unsigned errors = static_cast<unsigned>(state.range(0));
+    const RsCodec rs(64, 8);
+    Rng rng(3);
+    std::vector<GfElem> data(64);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.below(256));
+    const auto clean = rs.encode(data);
+    for (auto _ : state) {
+        auto cw = clean;
+        for (unsigned e = 0; e < errors; ++e)
+            cw[5 + e * 11] ^= static_cast<GfElem>(1 + (e & 0xFE));
+        auto res = rs.decode(cw);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_RsDecodeErrors)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_RsErasureChip(benchmark::State &state)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(4);
+    std::vector<GfElem> data(64);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.below(256));
+    const auto clean = rs.encode(data);
+    std::vector<std::uint32_t> erasures;
+    for (std::uint32_t p = 8; p < 16; ++p)
+        erasures.push_back(p);
+    for (auto _ : state) {
+        auto cw = clean;
+        for (auto p : erasures)
+            cw[p] = static_cast<GfElem>(rng.next() & 0xFF);
+        auto res = rs.decode(cw, erasures);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_RsErasureChip);
+
+void
+BM_VlewEncode(benchmark::State &state)
+{
+    const BchCodec vlew(2048, 22);
+    Rng rng(5);
+    BitVec data(2048);
+    data.randomize(rng);
+    for (auto _ : state) {
+        auto check = vlew.encodeDelta(data);
+        benchmark::DoNotOptimize(check);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_VlewEncode);
+
+void
+BM_VlewDecode(benchmark::State &state)
+{
+    const unsigned errors = static_cast<unsigned>(state.range(0));
+    const BchCodec vlew(2048, 22);
+    Rng rng(6);
+    BitVec data(2048);
+    data.randomize(rng);
+    const BitVec clean = vlew.encode(data);
+    for (auto _ : state) {
+        state.PauseTiming();
+        BitVec noisy = clean;
+        noisy.injectExactErrors(rng, errors);
+        state.ResumeTiming();
+        auto res = vlew.decode(noisy);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_VlewDecode)->Arg(0)->Arg(2)->Arg(11)->Arg(22);
+
+void
+BM_BaselineBchDecode(benchmark::State &state)
+{
+    const BchCodec base(512, 14);
+    Rng rng(7);
+    BitVec data(512);
+    data.randomize(rng);
+    const BitVec clean = base.encode(data);
+    for (auto _ : state) {
+        state.PauseTiming();
+        BitVec noisy = clean;
+        noisy.injectExactErrors(rng, 7);
+        state.ResumeTiming();
+        auto res = base.decode(noisy);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_BaselineBchDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

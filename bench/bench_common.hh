@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses: a standard
+ * banner tying each binary to the paper artifact it regenerates, and
+ * the common run-control used by the simulation-driven figures.
+ */
+
+#ifndef NVCK_BENCH_COMMON_HH
+#define NVCK_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace nvck {
+
+/** Print the standard artifact banner. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::cout << "==============================================================\n"
+              << artifact << " — " << description << "\n"
+              << "Zhang, Sridharan, Jian. \"Exploring and Optimizing "
+                 "Chipkill-correct\n"
+              << "for Persistent Memory Based on High-density NVRAMs.\" "
+                 "MICRO 2018.\n"
+              << "==============================================================\n";
+}
+
+/** Run control used by the simulation figures (fast, deterministic). */
+inline RunControl
+benchRunControl()
+{
+    RunControl rc;
+    rc.warmup = nsToTicks(30000);
+    rc.measure = nsToTicks(100000);
+    rc.samplePeriod = nsToTicks(2500);
+    return rc;
+}
+
+} // namespace nvck
+
+#endif // NVCK_BENCH_COMMON_HH

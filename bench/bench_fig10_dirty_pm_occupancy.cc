@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 10: fraction of cache-hierarchy lines (4MB LLC + four 64KB
+ * L1s) occupied by dirty persistent-memory blocks. The paper's
+ * observation — dirty PM blocks occupy only a small fraction (4% on
+ * average) because persistent-memory applications clean aggressively —
+ * is what makes OMV preservation in the LLC cheap.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "workload/profiles.hh"
+
+using namespace nvck;
+
+int
+main()
+{
+    banner("Figure 10",
+           "dirty-PM fraction of cache hierarchy capacity");
+
+    // Longer windows than the perf figures: occupancy needs to reach
+    // its eviction/clean equilibrium.
+    RunControl rc;
+    rc.warmup = nsToTicks(150000);
+    rc.measure = nsToTicks(150000);
+    rc.samplePeriod = nsToTicks(5000);
+
+    Table t({"workload", "dirty PM fraction", "OMV lines (LLC)"});
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const auto &name : allBenchmarkNames()) {
+        const auto m = runOnce(
+            SystemConfig::make(PmTech::Reram,
+                               proposalScheme(runtimeRberFor(
+                                   PmTech::Reram)),
+                               name),
+            rc);
+        t.row().cell(name).pct(m.dirtyPmFraction, 2).pct(m.omvFraction,
+                                                         2);
+        sum += m.dirtyPmFraction;
+        ++count;
+    }
+    t.print(std::cout);
+    std::cout << "\naverage dirty-PM occupancy: "
+              << 100.0 * sum / count
+              << "%  (paper: ~4% average; barnes lowest at ~0.5%)\n"
+              << "Both in the 'small fraction' regime that makes OMV"
+                 " caching cheap.\n";
+
+    // Occupancy climbs toward its eviction/clean equilibrium over
+    // horizons the paper's 500ms warmup reaches but a bench-scale
+    // window cannot; shrinking the hierarchy shows the equilibrium
+    // fractions at bench scale.
+    std::cout << "\nScaled-cache sensitivity (LLC shrunk to 256KB):\n";
+    Table t2({"workload", "dirty PM fraction", "OMV lines (LLC)"});
+    for (const std::string name : {"hashmap", "tpcc", "ycsb", "echo"}) {
+        auto cfg = SystemConfig::make(
+            PmTech::Reram,
+            proposalScheme(runtimeRberFor(PmTech::Reram)), name);
+        cfg.cache.llcBytes = 256 * 1024;
+        const auto m = runOnce(cfg, rc);
+        t2.row().cell(name).pct(m.dirtyPmFraction, 2).pct(
+            m.omvFraction, 2);
+    }
+    t2.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 16: proposal performance normalized to the bit-error-only
+ * baseline under ReRAM latencies (tRCD 120ns, tWR 300ns). The paper
+ * reports a 1.4% average overhead; IPC for WHISPER workloads, FLOPS
+ * for SPLASH.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "workload/profiles.hh"
+
+using namespace nvck;
+
+int
+main()
+{
+    banner("Figure 16",
+           "performance normalized to baseline, ReRAM latencies");
+
+    const auto rc = benchRunControl();
+    Table t({"workload", "metric", "baseline", "proposal", "normalized",
+             "C"});
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const auto &name : allBenchmarkNames()) {
+        const auto base = runBaseline(PmTech::Reram, name, 1, rc);
+        const auto prop = runProposal(PmTech::Reram, name, 1, rc);
+        const double rel = prop.perf / base.perf;
+        t.row()
+            .cell(name)
+            .cell(findProfile(name).flops ? "MFLOPS" : "IPC")
+            .cell(base.perf, 4)
+            .cell(prop.perf, 4)
+            .cell(rel, 4)
+            .cell(prop.cFactor, 3);
+        sum += rel;
+        ++count;
+    }
+    t.print(std::cout);
+    std::cout << "\naverage normalized performance: " << sum / count
+              << "  (paper: 0.986, i.e. 1.4% overhead)\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+#include "cache.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+SetAssocCache::SetAssocCache(std::size_t size_bytes, unsigned ways)
+    : numSets(size_bytes / blockBytes / ways),
+      numWays(ways),
+      store(numSets * ways)
+{
+    NVCK_ASSERT(numSets >= 1, "cache smaller than one set");
+    NVCK_ASSERT((numSets & (numSets - 1)) == 0,
+                "set count must be a power of two");
+}
+
+std::size_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr / blockBytes) & (numSets - 1);
+}
+
+CacheLine *
+SetAssocCache::setBase(Addr addr)
+{
+    return &store[setIndex(addr) * numWays];
+}
+
+CacheLine *
+SetAssocCache::lookup(Addr addr)
+{
+    const Addr block = addr / blockBytes * blockBytes;
+    CacheLine *base = setBase(addr);
+    for (unsigned w = 0; w < numWays; ++w) {
+        CacheLine &line = base[w];
+        if (line.valid && !line.omv && line.blockAddr == block) {
+            touch(line);
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+CacheLine *
+SetAssocCache::lookupOmv(Addr addr)
+{
+    const Addr block = addr / blockBytes * blockBytes;
+    CacheLine *base = setBase(addr);
+    for (unsigned w = 0; w < numWays; ++w) {
+        CacheLine &line = base[w];
+        if (line.valid && line.omv && line.blockAddr == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine &
+SetAssocCache::victim(Addr addr)
+{
+    CacheLine *base = setBase(addr);
+    CacheLine *lru = &base[0];
+    for (unsigned w = 0; w < numWays; ++w) {
+        CacheLine &line = base[w];
+        if (!line.valid)
+            return line;
+        if (line.lruStamp < lru->lruStamp)
+            lru = &line;
+    }
+    return *lru;
+}
+
+void
+SetAssocCache::fill(CacheLine &line, Addr addr, bool is_pm, bool dirty)
+{
+    line.blockAddr = addr / blockBytes * blockBytes;
+    line.valid = true;
+    line.dirty = dirty;
+    line.isPm = is_pm;
+    line.sam = false;
+    line.omv = false;
+    touch(line);
+}
+
+void
+SetAssocCache::invalidate(CacheLine &line)
+{
+    line = CacheLine{};
+}
+
+} // namespace nvck

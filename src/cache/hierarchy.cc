@@ -1,0 +1,210 @@
+#include "hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &config, MemSink &sink)
+    : cfg(config),
+      memSink(sink),
+      llc(config.llcBytes, config.llcWays)
+{
+    NVCK_ASSERT(cfg.cores >= 1, "need at least one core");
+    l1s.reserve(cfg.cores);
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        l1s.push_back(
+            std::make_unique<SetAssocCache>(cfg.l1Bytes, cfg.l1Ways));
+}
+
+CacheLine &
+CacheHierarchy::llcVictimExcluding(Addr addr, const CacheLine *keep)
+{
+    CacheLine &first = llc.victim(addr);
+    if (&first != keep)
+        return first;
+    // Temporarily pin the protected line by bumping its LRU stamp and
+    // re-selecting.
+    llc.touch(first);
+    CacheLine &second = llc.victim(addr);
+    NVCK_ASSERT(&second != keep, "victim exclusion failed");
+    return second;
+}
+
+void
+CacheHierarchy::writeDirtyBlockToMemory(Addr addr, bool is_pm)
+{
+    bool omv_hit = false;
+    if (is_pm && cfg.omvEnabled) {
+        if (CacheLine *omv = llc.lookupOmv(addr)) {
+            omv_hit = true;
+            llc.invalidate(*omv);
+            statistics.omvHits.inc();
+        } else {
+            statistics.omvMisses.inc();
+        }
+    }
+    (is_pm ? statistics.pmWritebacks : statistics.dramWritebacks).inc();
+    memSink.writeBlock(addr, is_pm, omv_hit);
+}
+
+void
+CacheHierarchy::evictLlc(CacheLine &line)
+{
+    if (!line.valid)
+        return;
+    if (line.omv) {
+        // An OMV equals the off-chip value; dropping it is free (the
+        // next write to its block just misses the OMV lookup).
+        llc.invalidate(line);
+        return;
+    }
+    if (line.dirty)
+        writeDirtyBlockToMemory(line.blockAddr, line.isPm);
+    llc.invalidate(line);
+}
+
+void
+CacheHierarchy::dirtyWritebackToLlc(Addr addr, bool is_pm)
+{
+    CacheLine *line = llc.lookup(addr);
+    if (line != nullptr) {
+        if (cfg.omvEnabled && line->isPm && line->sam && !line->dirty) {
+            // Section V-D rule: the hit line still equals memory, so
+            // keep it as the block's OMV and take another way for the
+            // incoming dirty data.
+            line->omv = true;
+            line->sam = false;
+            statistics.omvPreserved.inc();
+            CacheLine &fresh = llcVictimExcluding(addr, line);
+            evictLlc(fresh);
+            llc.fill(fresh, addr, is_pm, /*dirty=*/true);
+            return;
+        }
+        line->dirty = true;
+        line->sam = false;
+        llc.touch(*line);
+        return;
+    }
+    // Non-inclusive hierarchy: the LLC may no longer hold the block.
+    CacheLine &fresh = llcVictimExcluding(addr, nullptr);
+    evictLlc(fresh);
+    llc.fill(fresh, addr, is_pm, /*dirty=*/true);
+}
+
+HitLevel
+CacheHierarchy::access(unsigned core, Addr addr, bool is_write,
+                       bool is_pm)
+{
+    NVCK_ASSERT(core < cfg.cores, "bad core id");
+    SetAssocCache &l1 = *l1s[core];
+
+    if (CacheLine *line = l1.lookup(addr)) {
+        if (is_write)
+            line->dirty = true;
+        statistics.l1Hits.inc();
+        return HitLevel::L1;
+    }
+    statistics.l1Misses.inc();
+
+    CacheLine *llc_line = llc.lookup(addr);
+    const HitLevel level =
+        llc_line != nullptr ? HitLevel::LLC : HitLevel::Memory;
+    if (llc_line != nullptr) {
+        statistics.llcHits.inc();
+    } else {
+        statistics.llcMisses.inc();
+        CacheLine &fresh = llcVictimExcluding(addr, nullptr);
+        evictLlc(fresh);
+        llc.fill(fresh, addr, is_pm, /*dirty=*/false);
+        fresh.sam = true; // filled from memory
+    }
+
+    // Allocate in L1 (write-allocate), pushing out its victim.
+    CacheLine &victim = l1.victim(addr);
+    if (victim.valid && victim.dirty)
+        dirtyWritebackToLlc(victim.blockAddr, victim.isPm);
+    l1.fill(victim, addr, is_pm, /*dirty=*/is_write);
+    return level;
+}
+
+bool
+CacheHierarchy::clean(unsigned core, Addr addr, bool is_pm)
+{
+    NVCK_ASSERT(core < cfg.cores, "bad core id");
+    SetAssocCache &l1 = *l1s[core];
+
+    CacheLine *l1_line = l1.lookup(addr);
+    if (l1_line != nullptr && l1_line->dirty) {
+        // clwb retains a clean copy in L1 and pushes the data through
+        // the LLC to memory.
+        l1_line->dirty = false;
+        CacheLine *llc_line = llc.lookup(addr);
+        bool omv_hit = false;
+        if (is_pm && cfg.omvEnabled) {
+            if (llc_line != nullptr && llc_line->sam) {
+                omv_hit = true; // SAM copy supplies the old value
+            } else if (CacheLine *omv = llc.lookupOmv(addr)) {
+                omv_hit = true;
+                llc.invalidate(*omv);
+            }
+            (omv_hit ? statistics.omvHits : statistics.omvMisses).inc();
+        }
+        if (llc_line != nullptr) {
+            // The clean updates the LLC copy with the new data; after
+            // the memory write it again equals memory.
+            llc_line->dirty = false;
+            llc_line->sam = true;
+            llc.touch(*llc_line);
+        }
+        (is_pm ? statistics.pmWritebacks : statistics.dramWritebacks)
+            .inc();
+        memSink.writeBlock(addr / blockBytes * blockBytes, is_pm,
+                           omv_hit);
+        statistics.cleanOps.inc();
+        return true;
+    }
+
+    CacheLine *llc_line = llc.lookup(addr);
+    if (llc_line != nullptr && llc_line->dirty) {
+        writeDirtyBlockToMemory(llc_line->blockAddr, llc_line->isPm);
+        llc_line->dirty = false;
+        llc_line->sam = true;
+        llc.touch(*llc_line);
+        statistics.cleanOps.inc();
+        return true;
+    }
+
+    statistics.cleanNops.inc();
+    return false;
+}
+
+double
+CacheHierarchy::dirtyPmFraction() const
+{
+    std::size_t dirty_pm = 0;
+    std::size_t total = llc.lines();
+    const auto count = [&dirty_pm](const CacheLine &line) {
+        if (line.valid && line.dirty && line.isPm)
+            ++dirty_pm;
+    };
+    llc.forEach(count);
+    for (const auto &l1 : l1s) {
+        total += l1->lines();
+        l1->forEach(count);
+    }
+    return total ? static_cast<double>(dirty_pm) / total : 0.0;
+}
+
+double
+CacheHierarchy::omvFraction() const
+{
+    std::size_t omv_lines = 0;
+    llc.forEach([&omv_lines](const CacheLine &line) {
+        if (line.valid && line.omv)
+            ++omv_lines;
+    });
+    return static_cast<double>(omv_lines) /
+           static_cast<double>(llc.lines());
+}
+
+} // namespace nvck

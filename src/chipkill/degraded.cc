@@ -1,0 +1,225 @@
+#include "degraded.hh"
+
+#include <cstring>
+
+#include "chipkill/pm_rank.hh"
+#include "common/log.hh"
+
+namespace nvck {
+
+DegradedRank::DegradedRank(unsigned num_blocks,
+                           const ProposalParams &params)
+    : geom(params),
+      numBlocks(num_blocks),
+      vlewCodec(params.vlewDataBytes * 8, params.vlewT)
+{
+    NVCK_ASSERT(numBlocks % blocksPerVlew() == 0,
+                "block count must be a multiple of the striped span");
+    numVlews = numBlocks / blocksPerVlew();
+    store.assign(static_cast<std::size_t>(numBlocks) * blockBytes, 0);
+    golden = store;
+    codeStore.assign(numVlews, BitVec(vlewCodec.r()));
+    goldenCode = codeStore;
+}
+
+void
+DegradedRank::initialize(Rng &rng)
+{
+    for (auto &byte : golden)
+        byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    for (unsigned v = 0; v < numVlews; ++v) {
+        BitVec data(vlewCodec.k());
+        const std::uint8_t *bytes =
+            &golden[static_cast<std::size_t>(v) * geom.vlewDataBytes];
+        for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+            data.setBits(b * 8, 8, bytes[b]);
+        const BitVec check = vlewCodec.encodeDelta(data);
+        for (unsigned i = 0; i < vlewCodec.r(); ++i)
+            goldenCode[v].set(i, check.get(i));
+    }
+    store = golden;
+    codeStore = goldenCode;
+}
+
+DegradedRank
+DegradedRank::takeOver(const PmRank &healthy, unsigned failed_chip)
+{
+    NVCK_ASSERT(failed_chip < healthy.chips(),
+                "failed chip out of range");
+    DegradedRank out(healthy.blocks());
+    // The scrub has already rebuilt the failed chip's contents; carry
+    // the logical block data over and re-encode the striped VLEWs.
+    for (unsigned b = 0; b < healthy.blocks(); ++b)
+        healthy.goldenBlock(
+            b, &out.golden[static_cast<std::size_t>(b) * blockBytes]);
+    for (unsigned v = 0; v < out.numVlews; ++v) {
+        BitVec data(out.vlewCodec.k());
+        const std::uint8_t *bytes =
+            &out.golden[static_cast<std::size_t>(v) *
+                        out.geom.vlewDataBytes];
+        for (unsigned byte = 0; byte < out.geom.vlewDataBytes; ++byte)
+            data.setBits(byte * 8, 8, bytes[byte]);
+        const BitVec check = out.vlewCodec.encodeDelta(data);
+        for (unsigned i = 0; i < out.vlewCodec.r(); ++i)
+            out.goldenCode[v].set(i, check.get(i));
+    }
+    out.store = out.golden;
+    out.codeStore = out.goldenCode;
+    return out;
+}
+
+BitVec
+DegradedRank::assembleVlew(unsigned vlew) const
+{
+    const unsigned r = vlewCodec.r();
+    BitVec cw(vlewCodec.n());
+    const BitVec &code = codeStore[vlew];
+    for (unsigned i = 0; i < r; ++i)
+        if (code.get(i))
+            cw.set(i, true);
+    const std::uint8_t *bytes =
+        &store[static_cast<std::size_t>(vlew) * geom.vlewDataBytes];
+    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+        cw.setBits(r + b * 8, 8, bytes[b]);
+    return cw;
+}
+
+void
+DegradedRank::storeVlew(unsigned vlew, const BitVec &cw)
+{
+    const unsigned r = vlewCodec.r();
+    BitVec &code = codeStore[vlew];
+    for (unsigned i = 0; i < r; ++i)
+        code.set(i, cw.get(i));
+    std::uint8_t *bytes =
+        &store[static_cast<std::size_t>(vlew) * geom.vlewDataBytes];
+    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+        bytes[b] = static_cast<std::uint8_t>(cw.getBits(r + b * 8, 8));
+}
+
+void
+DegradedRank::writeBlock(unsigned block, const std::uint8_t *new_data)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    const unsigned vlew = block / blocksPerVlew();
+    const unsigned offset =
+        (block % blocksPerVlew()) * blockBytes;
+
+    std::uint8_t delta[blockBytes];
+    std::uint8_t *gold =
+        &golden[static_cast<std::size_t>(block) * blockBytes];
+    std::uint8_t *stored =
+        &store[static_cast<std::size_t>(block) * blockBytes];
+    for (unsigned b = 0; b < blockBytes; ++b) {
+        delta[b] = new_data[b] ^ gold[b];
+        gold[b] ^= delta[b];
+        stored[b] ^= delta[b];
+    }
+
+    BitVec delta_word(vlewCodec.k());
+    for (unsigned b = 0; b < blockBytes; ++b)
+        delta_word.setBits((offset + b) * 8, 8, delta[b]);
+    const BitVec code_delta = vlewCodec.encodeDelta(delta_word);
+    codeStore[vlew] ^= code_delta;
+    goldenCode[vlew] ^= code_delta;
+}
+
+DegradedReadResult
+DegradedRank::readBlock(unsigned block, std::uint8_t *out)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    DegradedReadResult result;
+    const unsigned vlew = block / blocksPerVlew();
+
+    // Without the RS tier every errored read needs the VLEW; check the
+    // stored block against a zero-cost syndrome first by decoding only
+    // when the word is dirty.
+    BitVec cw = assembleVlew(vlew);
+    if (!vlewCodec.isCodeword(cw)) {
+        result.usedVlew = true;
+        const auto res = vlewCodec.decode(cw);
+        if (res.status == DecodeStatus::Uncorrectable) {
+            result.failed = true;
+            return result;
+        }
+        result.corrections = res.corrections;
+        storeVlew(vlew, cw);
+    }
+    std::memcpy(out,
+                &store[static_cast<std::size_t>(block) * blockBytes],
+                blockBytes);
+    result.dataCorrect =
+        std::memcmp(out,
+                    &golden[static_cast<std::size_t>(block) *
+                            blockBytes],
+                    blockBytes) == 0;
+    return result;
+}
+
+bool
+DegradedRank::scrub()
+{
+    for (unsigned v = 0; v < numVlews; ++v) {
+        BitVec cw = assembleVlew(v);
+        const auto res = vlewCodec.decode(cw);
+        if (res.status == DecodeStatus::Uncorrectable)
+            return false;
+        if (res.status == DecodeStatus::Corrected)
+            storeVlew(v, cw);
+    }
+    return true;
+}
+
+std::uint64_t
+DegradedRank::injectErrors(Rng &rng, double rber)
+{
+    if (rber <= 0.0)
+        return 0;
+    std::uint64_t flipped = 0;
+    const std::uint64_t data_bits =
+        static_cast<std::uint64_t>(store.size()) * 8;
+    const std::uint64_t total_bits =
+        data_bits +
+        static_cast<std::uint64_t>(numVlews) * vlewCodec.r();
+    std::uint64_t pos = 0;
+    for (;;) {
+        pos += rng.geometric(rber);
+        if (pos > total_bits)
+            break;
+        const std::uint64_t idx = pos - 1;
+        if (idx < data_bits)
+            store[idx / 8] ^= static_cast<std::uint8_t>(1u
+                                                        << (idx % 8));
+        else {
+            const std::uint64_t cidx = idx - data_bits;
+            codeStore[cidx / vlewCodec.r()].flip(
+                static_cast<std::size_t>(cidx % vlewCodec.r()));
+        }
+        ++flipped;
+    }
+    return flipped;
+}
+
+unsigned
+DegradedRank::correctionFetchBlocks() const
+{
+    // Three sibling blocks plus the code bits (Section V-E: "using it
+    // to correct bit errors only requires fetching four data blocks").
+    return blocksPerVlew() - 1 + geom.codeBlocksPerVlew();
+}
+
+bool
+DegradedRank::isPristine() const
+{
+    return store == golden && codeStore == goldenCode;
+}
+
+void
+DegradedRank::goldenBlock(unsigned block, std::uint8_t *out) const
+{
+    std::memcpy(out,
+                &golden[static_cast<std::size_t>(block) * blockBytes],
+                blockBytes);
+}
+
+} // namespace nvck

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Section V-E: operating a rank after a permanent chip failure.
+ *
+ * A permanently dead chip would force frequent VLEW corrections (and
+ * with it high overheads), so the paper offers two remedies:
+ *
+ *  1. retire the affected memory after migrating its data elsewhere
+ *     (what most servers do today), or
+ *  2. remap the failed chip's contents onto the ECC (parity) chip,
+ *     giving up the per-block RS bits, and dynamically *re-encode each
+ *     VLEW from 256B of data striped across all surviving chips*: the
+ *     reconfigured VLEW spans 256B/64B = 4 blocks, so correcting one
+ *     block costs only four regular reads instead of 36. Length and
+ *     strength stay the same, so no extra storage is needed.
+ *
+ * DegradedRank implements remedy 2 as a standalone bit-accurate model:
+ * eight surviving chips hold data (the old parity chip now stores the
+ * dead chip's remapped contents), and each VLEW covers four whole
+ * blocks across the rank.
+ */
+
+#ifndef NVCK_CHIPKILL_DEGRADED_HH
+#define NVCK_CHIPKILL_DEGRADED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "ecc/bch.hh"
+#include "ecc/code_params.hh"
+
+namespace nvck {
+
+class PmRank;
+
+/** Read outcome in degraded mode. */
+struct DegradedReadResult
+{
+    bool usedVlew = false;    //!< needed VLEW correction
+    unsigned corrections = 0; //!< bit corrections applied
+    bool dataCorrect = false;
+    bool failed = false;
+};
+
+/** A rank running without per-block RS protection after chip loss. */
+class DegradedRank
+{
+  public:
+    /**
+     * @param num_blocks capacity in 64B blocks (multiple of 4).
+     * @param params geometry; the VLEW length/strength are unchanged.
+     */
+    explicit DegradedRank(unsigned num_blocks,
+                          const ProposalParams &params = ProposalParams{});
+
+    /** Random golden content + encode the striped VLEWs. */
+    void initialize(Rng &rng);
+
+    /**
+     * Build a degraded rank from a healthy one that just lost
+     * @p failed_chip: the survivors' (already scrubbed) contents are
+     * carried over and the parity chip's storage is reused for the
+     * dead chip's rebuilt data.
+     */
+    static DegradedRank takeOver(const PmRank &healthy,
+                                 unsigned failed_chip);
+
+    unsigned blocks() const { return numBlocks; }
+
+    /** Blocks spanned by one reconfigured VLEW (4). */
+    unsigned
+    blocksPerVlew() const
+    {
+        return geom.vlewDataBytes / blockBytes;
+    }
+
+    /** Write through the XOR-sum path (code bits updated linearly). */
+    void writeBlock(unsigned block, const std::uint8_t *new_data);
+
+    /** Read with VLEW correction (no RS tier anymore). */
+    DegradedReadResult readBlock(unsigned block, std::uint8_t *out);
+
+    /** Scrub every striped VLEW. */
+    bool scrub();
+
+    /** Inject random bit errors into data + code storage. */
+    std::uint64_t injectErrors(Rng &rng, double rber);
+
+    /** Extra blocks fetched per VLEW correction (3 + code blocks). */
+    unsigned correctionFetchBlocks() const;
+
+    bool isPristine() const;
+    void goldenBlock(unsigned block, std::uint8_t *out) const;
+
+  private:
+    BitVec assembleVlew(unsigned vlew) const;
+    void storeVlew(unsigned vlew, const BitVec &cw);
+
+    ProposalParams geom;
+    unsigned numBlocks;
+    unsigned numVlews;
+    BchCodec vlewCodec;
+    /** Block-major data: numBlocks x 64B. */
+    std::vector<std::uint8_t> store;
+    std::vector<std::uint8_t> golden;
+    /** Striped VLEW code bits. */
+    std::vector<BitVec> codeStore;
+    std::vector<BitVec> goldenCode;
+};
+
+} // namespace nvck
+
+#endif // NVCK_CHIPKILL_DEGRADED_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hardware cost estimates from Section V-E: area and latency of the
+ * in-NVRAM BCH encoder (Fig 13), the processor-side multi-byte RS
+ * decoder, and the 22-EC VLEW BCH decoder, plus the per-access rates at
+ * which each engages. These are the paper's published model numbers
+ * (CACTI/ITRS-derived), reproduced for the bench harness.
+ */
+
+#ifndef NVCK_CHIPKILL_HW_MODEL_HH
+#define NVCK_CHIPKILL_HW_MODEL_HH
+
+namespace nvck {
+
+/** Section V-E hardware estimates. */
+struct HwEstimates
+{
+    /** In-chip 22-EC BCH encoder over 256B (XOR-tree, two metal layers). */
+    double bchEncoderAreaMm2 = 0.1;
+    double bchEncoderLatencyNs = 1.6;
+
+    /** Processor-side RS(72,64) multi-byte-error decoder. */
+    double rsDecoderAreaMm2 = 0.002;
+    double rsDecoderLatencyNs = 45.0;
+
+    /** Processor-side 22-EC VLEW BCH decoder. */
+    double bchDecoderAreaMm2 = 0.05;
+    double bchDecoderLatencyNs = 200.0;
+};
+
+/**
+ * Engagement rates at 2e-4 runtime RBER (Section V-E): 1/200 of reads
+ * need multi-error RS correction; 1.8/10000 need BCH correction.
+ */
+struct EngagementRates
+{
+    double rsMultiErrorPerRead = 1.0 / 200.0;
+    double bchCorrectionPerRead = 1.8 / 10000.0;
+};
+
+} // namespace nvck
+
+#endif // NVCK_CHIPKILL_HW_MODEL_HH

@@ -1,0 +1,624 @@
+#include "pm_rank.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hh"
+#include "ecc/crc.hh"
+
+namespace nvck {
+
+PmRank::PmRank(unsigned num_blocks, const ProposalParams &params)
+    : geom(params),
+      numBlocks(num_blocks),
+      dataChips(params.dataChips),
+      blocksPerVlew(params.blocksPerVlew()),
+      vlewCodec(params.vlewDataBytes * 8, params.vlewT),
+      rsCodec(params.rsDataBytes, params.rsCheckBytes),
+      disabled(num_blocks, false)
+{
+    NVCK_ASSERT(numBlocks % blocksPerVlew == 0,
+                "block count must be a multiple of the VLEW span");
+    numVlews = numBlocks / blocksPerVlew;
+
+    const unsigned total_chips = dataChips + 1;
+    chipStore.assign(total_chips, std::vector<std::uint8_t>(
+                                      numBlocks * chipBeatBytes, 0));
+    goldenStore = chipStore;
+    stuckMask = chipStore;
+    stuckVal = chipStore;
+    codeStore.assign(total_chips,
+                     std::vector<BitVec>(numVlews, BitVec(vlewCodec.r())));
+    goldenCode = codeStore;
+}
+
+std::uint8_t *
+PmRank::chipBeat(unsigned chip, unsigned block)
+{
+    return &chipStore[chip][block * chipBeatBytes];
+}
+
+const std::uint8_t *
+PmRank::chipBeat(unsigned chip, unsigned block) const
+{
+    return &chipStore[chip][block * chipBeatBytes];
+}
+
+std::uint8_t *
+PmRank::goldenBeat(unsigned chip, unsigned block)
+{
+    return &goldenStore[chip][block * chipBeatBytes];
+}
+
+const std::uint8_t *
+PmRank::goldenBeat(unsigned chip, unsigned block) const
+{
+    return &goldenStore[chip][block * chipBeatBytes];
+}
+
+BitVec
+PmRank::assembleVlew(unsigned chip, unsigned vlew) const
+{
+    const unsigned r = vlewCodec.r();
+    BitVec cw(vlewCodec.n());
+    const BitVec &code = codeStore[chip][vlew];
+    for (unsigned i = 0; i < r; ++i)
+        if (code.get(i))
+            cw.set(i, true);
+    const std::uint8_t *bytes =
+        &chipStore[chip][vlew * geom.vlewDataBytes];
+    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+        cw.setBits(r + b * 8, 8, bytes[b]);
+    return cw;
+}
+
+void
+PmRank::storeVlew(unsigned chip, unsigned vlew, const BitVec &cw)
+{
+    const unsigned r = vlewCodec.r();
+    BitVec &code = codeStore[chip][vlew];
+    for (unsigned i = 0; i < r; ++i)
+        code.set(i, cw.get(i));
+    std::uint8_t *bytes = &chipStore[chip][vlew * geom.vlewDataBytes];
+    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+        bytes[b] = static_cast<std::uint8_t>(cw.getBits(r + b * 8, 8));
+    enforceStuck(chip,
+                 static_cast<std::uint64_t>(vlew) * geom.vlewDataBytes,
+                 static_cast<std::uint64_t>(vlew + 1) *
+                     geom.vlewDataBytes);
+}
+
+void
+PmRank::enforceStuck(unsigned chip, std::uint64_t lo, std::uint64_t hi)
+{
+    const auto &mask = stuckMask[chip];
+    const auto &val = stuckVal[chip];
+    auto &stored = chipStore[chip];
+    for (std::uint64_t i = lo; i < hi; ++i) {
+        if (mask[i] != 0)
+            stored[i] = static_cast<std::uint8_t>(
+                (stored[i] & ~mask[i]) | (val[i] & mask[i]));
+    }
+}
+
+void
+PmRank::setStuckBit(unsigned chip, std::uint64_t byte_index,
+                    unsigned bit, bool value)
+{
+    NVCK_ASSERT(chip <= dataChips, "chip out of range");
+    NVCK_ASSERT(byte_index < chipStore[chip].size(),
+                "byte index out of range");
+    NVCK_ASSERT(bit < 8, "bit out of range");
+    stuckMask[chip][byte_index] |= static_cast<std::uint8_t>(1u << bit);
+    if (value)
+        stuckVal[chip][byte_index] |=
+            static_cast<std::uint8_t>(1u << bit);
+    else
+        stuckVal[chip][byte_index] &=
+            static_cast<std::uint8_t>(~(1u << bit));
+    enforceStuck(chip, byte_index, byte_index + 1);
+}
+
+unsigned
+PmRank::writeVerify(unsigned block, const std::uint8_t *new_data)
+{
+    writeBlock(block, new_data);
+    // Re-read the raw stored beats right after the write [86]; any
+    // mismatch against the intended value is a worn-out cell.
+    unsigned bad_bits = 0;
+    for (unsigned chip = 0; chip <= dataChips; ++chip) {
+        const std::uint8_t *stored = chipBeat(chip, block);
+        const std::uint8_t *intended = goldenBeat(chip, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b) {
+            std::uint8_t diff =
+                static_cast<std::uint8_t>(stored[b] ^ intended[b]);
+            while (diff) {
+                diff &= static_cast<std::uint8_t>(diff - 1);
+                ++bad_bits;
+            }
+        }
+    }
+    return bad_bits;
+}
+
+std::vector<GfElem>
+PmRank::assembleRsWord(unsigned block) const
+{
+    // Layout: symbols [0, r) = parity-chip beat (check symbols);
+    // symbols [r + c*8, r + (c+1)*8) = data chip c's beat.
+    std::vector<GfElem> word(rsCodec.n());
+    const std::uint8_t *parity = chipBeat(dataChips, block);
+    for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+        word[b] = parity[b];
+    for (unsigned c = 0; c < dataChips; ++c) {
+        const std::uint8_t *beat = chipBeat(c, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            word[geom.rsCheckBytes + c * chipBeatBytes + b] = beat[b];
+    }
+    return word;
+}
+
+void
+PmRank::encodeGoldenRs(unsigned block)
+{
+    std::vector<GfElem> data(rsCodec.k());
+    for (unsigned c = 0; c < dataChips; ++c) {
+        const std::uint8_t *beat = goldenBeat(c, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            data[c * chipBeatBytes + b] = beat[b];
+    }
+    const auto cw = rsCodec.encode(data);
+    std::uint8_t *parity = goldenBeat(dataChips, block);
+    for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+        parity[b] = static_cast<std::uint8_t>(cw[b]);
+}
+
+void
+PmRank::initialize(Rng &rng)
+{
+    // Random golden data across the data chips.
+    for (unsigned c = 0; c < dataChips; ++c)
+        for (auto &byte : goldenStore[c])
+            byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    // Parity chip contents.
+    for (unsigned block = 0; block < numBlocks; ++block)
+        encodeGoldenRs(block);
+    // VLEW code bits for every chip (including the parity chip).
+    const unsigned r = vlewCodec.r();
+    for (unsigned chip = 0; chip <= dataChips; ++chip) {
+        for (unsigned v = 0; v < numVlews; ++v) {
+            BitVec data(vlewCodec.k());
+            const std::uint8_t *bytes =
+                &goldenStore[chip][v * geom.vlewDataBytes];
+            for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+                data.setBits(b * 8, 8, bytes[b]);
+            const BitVec check = vlewCodec.encodeDelta(data);
+            BitVec &dst = goldenCode[chip][v];
+            for (unsigned i = 0; i < r; ++i)
+                dst.set(i, check.get(i));
+        }
+    }
+    chipStore = goldenStore;
+    codeStore = goldenCode;
+    std::fill(disabled.begin(), disabled.end(), false);
+}
+
+void
+PmRank::transmit(std::uint8_t *beat)
+{
+    if (busBer <= 0.0)
+        return;
+    for (;;) {
+        std::uint8_t wire[chipBeatBytes];
+        std::memcpy(wire, beat, chipBeatBytes);
+        bool corrupted = false;
+        for (unsigned b = 0; b < chipBeatBytes; ++b) {
+            for (unsigned bit = 0; bit < 8; ++bit) {
+                if (busRng.chance(busBer)) {
+                    wire[b] ^= static_cast<std::uint8_t>(1u << bit);
+                    corrupted = true;
+                }
+            }
+        }
+        if (!corrupted)
+            return;
+        if (!busCrc) {
+            // No Write-CRC: the corrupted sum is silently committed.
+            std::memcpy(beat, wire, chipBeatBytes);
+            return;
+        }
+        // DDR4-style Write-CRC detects the burst error; the chip
+        // alerts the controller, which retransmits (footnote 4).
+        const std::uint8_t sent_crc = crc8({beat, chipBeatBytes});
+        if (!crc8Check({wire, chipBeatBytes}, sent_crc)) {
+            ++busRetries;
+            continue;
+        }
+        // A pattern the CRC cannot see (vanishingly rare): committed.
+        std::memcpy(beat, wire, chipBeatBytes);
+        return;
+    }
+}
+
+void
+PmRank::applyChipDelta(unsigned chip, unsigned block,
+                       const std::uint8_t *delta8,
+                       const std::uint8_t *intended8)
+{
+    if (intended8 == nullptr)
+        intended8 = delta8;
+    bool nonzero = false;
+    for (unsigned b = 0; b < chipBeatBytes; ++b)
+        nonzero = nonzero || delta8[b] != 0 || intended8[b] != 0;
+    if (!nonzero)
+        return;
+
+    // The chip internally XORs the received sum into the stored data:
+    // pre-existing cell errors propagate one-to-one without spreading.
+    std::uint8_t *stored = chipBeat(chip, block);
+    std::uint8_t *golden = goldenBeat(chip, block);
+    for (unsigned b = 0; b < chipBeatBytes; ++b) {
+        stored[b] ^= delta8[b];
+        golden[b] ^= intended8[b];
+    }
+    enforceStuck(chip,
+                 static_cast<std::uint64_t>(block) * chipBeatBytes,
+                 static_cast<std::uint64_t>(block + 1) * chipBeatBytes);
+
+    // Linear code-bit update: f(x) ^ f(x') = f(x ^ x') (Fig 11). The
+    // chip encodes what it actually received; the golden code tracks
+    // the intended value.
+    const unsigned vlew = block / blocksPerVlew;
+    const unsigned offset_bytes =
+        (block % blocksPerVlew) * chipBeatBytes;
+    BitVec delta_word(vlewCodec.k());
+    for (unsigned b = 0; b < chipBeatBytes; ++b)
+        delta_word.setBits((offset_bytes + b) * 8, 8, delta8[b]);
+    const BitVec code_delta = vlewCodec.encodeDelta(delta_word);
+    codeStore[chip][vlew] ^= code_delta;
+    if (intended8 == delta8) {
+        goldenCode[chip][vlew] ^= code_delta;
+    } else {
+        BitVec intended_word(vlewCodec.k());
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            intended_word.setBits((offset_bytes + b) * 8, 8,
+                                  intended8[b]);
+        goldenCode[chip][vlew] ^= vlewCodec.encodeDelta(intended_word);
+    }
+}
+
+void
+PmRank::setBusFaultModel(double ber, bool crc_enabled,
+                         std::uint64_t seed)
+{
+    NVCK_ASSERT(ber >= 0.0 && ber < 1.0, "bus BER out of range");
+    busBer = ber;
+    busCrc = crc_enabled;
+    busRng = Rng(seed);
+}
+
+void
+PmRank::writeBlock(unsigned block, const std::uint8_t *new_data)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    NVCK_ASSERT(!disabled[block], "write to disabled block");
+
+    // Per-chip data deltas (new XOR old, the OMV supplying "old").
+    std::uint8_t delta[8 * chipBeatBytes];
+    for (unsigned c = 0; c < dataChips; ++c) {
+        const std::uint8_t *old_beat = goldenBeat(c, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            delta[c * chipBeatBytes + b] =
+                new_data[c * chipBeatBytes + b] ^ old_beat[b];
+    }
+
+    // RS is linear too: the parity chip receives the check bytes of
+    // the delta as its own delta.
+    std::vector<GfElem> delta_syms(rsCodec.k());
+    for (unsigned i = 0; i < rsCodec.k(); ++i)
+        delta_syms[i] = delta[i];
+    const auto delta_cw = rsCodec.encode(delta_syms);
+    std::uint8_t parity_delta[chipBeatBytes];
+    for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+        parity_delta[b] = static_cast<std::uint8_t>(delta_cw[b]);
+
+    for (unsigned c = 0; c < dataChips; ++c) {
+        std::uint8_t wire[chipBeatBytes];
+        std::memcpy(wire, &delta[c * chipBeatBytes], chipBeatBytes);
+        transmit(wire);
+        applyChipDelta(c, block, wire, &delta[c * chipBeatBytes]);
+    }
+    std::uint8_t parity_wire[chipBeatBytes];
+    std::memcpy(parity_wire, parity_delta, chipBeatBytes);
+    transmit(parity_wire);
+    applyChipDelta(dataChips, block, parity_wire, parity_delta);
+}
+
+int
+PmRank::correctVlew(unsigned chip, unsigned vlew)
+{
+    BitVec cw = assembleVlew(chip, vlew);
+    const auto res = vlewCodec.decode(cw);
+    switch (res.status) {
+      case DecodeStatus::Clean:
+        return 0;
+      case DecodeStatus::Corrected:
+        storeVlew(chip, vlew, cw);
+        return static_cast<int>(res.corrections);
+      case DecodeStatus::Uncorrectable:
+        return -1;
+    }
+    NVCK_PANIC("unreachable");
+}
+
+BlockReadResult
+PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    NVCK_ASSERT(!disabled[block], "read of disabled block");
+    BlockReadResult result;
+
+    auto emit = [&](const std::vector<GfElem> &word) {
+        for (unsigned i = 0; i < rsCodec.k(); ++i)
+            out[i] = static_cast<std::uint8_t>(
+                word[geom.rsCheckBytes + i]);
+        std::uint8_t golden[blockBytes];
+        goldenBlock(block, golden);
+        result.dataCorrect = std::memcmp(out, golden, blockBytes) == 0;
+    };
+
+    // Step 1: opportunistic per-block RS correction (Fig 9 top).
+    std::vector<GfElem> word = assembleRsWord(block);
+    const auto rs_res = rsCodec.decode(word, {}, /*max_errors=*/-1);
+    if (rs_res.status == DecodeStatus::Clean) {
+        result.path = ReadPath::Clean;
+        emit(word);
+        return result;
+    }
+    if (rs_res.status == DecodeStatus::Corrected &&
+        rs_res.corrections <= threshold) {
+        result.path = ReadPath::RsAccepted;
+        result.rsCorrections = rs_res.corrections;
+        emit(word);
+        return result;
+    }
+
+    // Step 2: rejected or uncorrectable -> fetch and correct the VLEWs
+    // of every chip covering this block (Fig 9 bottom).
+    const unsigned vlew = block / blocksPerVlew;
+    std::vector<std::uint32_t> erasures;
+    for (unsigned chip = 0; chip <= dataChips; ++chip) {
+        const int corrected = correctVlew(chip, vlew);
+        if (corrected < 0) {
+            // Whole-chip fault: erase its beat for RS.
+            if (chip == dataChips) {
+                for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+                    erasures.push_back(b);
+            } else {
+                for (unsigned b = 0; b < chipBeatBytes; ++b)
+                    erasures.push_back(geom.rsCheckBytes +
+                                       chip * chipBeatBytes + b);
+            }
+        } else {
+            result.vlewBitCorrections +=
+                static_cast<unsigned>(corrected);
+        }
+    }
+
+    std::vector<GfElem> word2 = assembleRsWord(block);
+    const auto rs2 = rsCodec.decode(word2, erasures, -1);
+    if (rs2.status == DecodeStatus::Uncorrectable) {
+        result.path = ReadPath::Failed;
+        return result;
+    }
+    result.path = erasures.empty() ? ReadPath::VlewFallback
+                                   : ReadPath::ChipRecovered;
+    result.rsCorrections = rs2.corrections;
+    emit(word2);
+    return result;
+}
+
+ScrubReport
+PmRank::bootScrub()
+{
+    ScrubReport report;
+    std::vector<bool> chip_failed(dataChips + 1, false);
+
+    for (unsigned chip = 0; chip <= dataChips; ++chip) {
+        for (unsigned v = 0; v < numVlews; ++v) {
+            ++report.vlewsScanned;
+            const int corrected = correctVlew(chip, v);
+            if (corrected < 0) {
+                chip_failed[chip] = true;
+                break; // whole chip is rebuilt below
+            }
+            if (corrected > 0) {
+                ++report.vlewsWithErrors;
+                report.bitsCorrected +=
+                    static_cast<std::uint64_t>(corrected);
+            }
+        }
+    }
+
+    const unsigned failed_data = static_cast<unsigned>(
+        std::count(chip_failed.begin(), chip_failed.end() - 1, true));
+    const bool parity_failed = chip_failed[dataChips];
+
+    if (failed_data > 1 || (failed_data == 1 && parity_failed)) {
+        report.uncorrectable = true;
+        return report;
+    }
+    if (failed_data == 1) {
+        for (unsigned c = 0; c < dataChips; ++c) {
+            if (chip_failed[c]) {
+                if (!rebuildDataChip(c, report))
+                    report.uncorrectable = true;
+                ++report.chipsRecovered;
+            }
+        }
+    }
+    if (parity_failed) {
+        rebuildParityChip();
+        report.parityChipRebuilt = true;
+        ++report.chipsRecovered;
+    }
+    return report;
+}
+
+bool
+PmRank::rebuildDataChip(unsigned chip, ScrubReport &report)
+{
+    (void)report;
+    std::vector<std::uint32_t> erasures;
+    for (unsigned b = 0; b < chipBeatBytes; ++b)
+        erasures.push_back(geom.rsCheckBytes + chip * chipBeatBytes + b);
+
+    for (unsigned block = 0; block < numBlocks; ++block) {
+        std::vector<GfElem> word = assembleRsWord(block);
+        const auto res = rsCodec.decode(word, erasures, -1);
+        if (res.status == DecodeStatus::Uncorrectable)
+            return false;
+        std::uint8_t *beat = chipBeat(chip, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            beat[b] = static_cast<std::uint8_t>(
+                word[geom.rsCheckBytes + chip * chipBeatBytes + b]);
+    }
+    // Re-encode the rebuilt chip's VLEW code bits.
+    for (unsigned v = 0; v < numVlews; ++v) {
+        BitVec data(vlewCodec.k());
+        const std::uint8_t *bytes =
+            &chipStore[chip][v * geom.vlewDataBytes];
+        for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+            data.setBits(b * 8, 8, bytes[b]);
+        const BitVec check = vlewCodec.encodeDelta(data);
+        BitVec &dst = codeStore[chip][v];
+        for (unsigned i = 0; i < vlewCodec.r(); ++i)
+            dst.set(i, check.get(i));
+    }
+    return true;
+}
+
+void
+PmRank::rebuildParityChip()
+{
+    for (unsigned block = 0; block < numBlocks; ++block) {
+        std::vector<GfElem> data(rsCodec.k());
+        for (unsigned c = 0; c < dataChips; ++c) {
+            const std::uint8_t *beat = chipBeat(c, block);
+            for (unsigned b = 0; b < chipBeatBytes; ++b)
+                data[c * chipBeatBytes + b] = beat[b];
+        }
+        const auto cw = rsCodec.encode(data);
+        std::uint8_t *parity = chipBeat(dataChips, block);
+        for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+            parity[b] = static_cast<std::uint8_t>(cw[b]);
+    }
+    for (unsigned v = 0; v < numVlews; ++v) {
+        BitVec data(vlewCodec.k());
+        const std::uint8_t *bytes =
+            &chipStore[dataChips][v * geom.vlewDataBytes];
+        for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
+            data.setBits(b * 8, 8, bytes[b]);
+        const BitVec check = vlewCodec.encodeDelta(data);
+        BitVec &dst = codeStore[dataChips][v];
+        for (unsigned i = 0; i < vlewCodec.r(); ++i)
+            dst.set(i, check.get(i));
+    }
+}
+
+std::uint64_t
+PmRank::injectErrors(Rng &rng, double rber)
+{
+    if (rber <= 0.0)
+        return 0;
+    std::uint64_t flipped = 0;
+    const unsigned total_chips = dataChips + 1;
+    const std::uint64_t data_bits_per_chip =
+        static_cast<std::uint64_t>(numBlocks) * chipBeatBytes * 8;
+    const std::uint64_t code_bits_per_chip =
+        static_cast<std::uint64_t>(numVlews) * vlewCodec.r();
+    const std::uint64_t data_bits = total_chips * data_bits_per_chip;
+    const std::uint64_t total_bits =
+        data_bits + total_chips * code_bits_per_chip;
+
+    std::uint64_t pos = 0;
+    for (;;) {
+        pos += rng.geometric(rber);
+        if (pos > total_bits)
+            break;
+        const std::uint64_t idx = pos - 1;
+        if (idx < data_bits) {
+            const unsigned chip =
+                static_cast<unsigned>(idx / data_bits_per_chip);
+            const std::uint64_t bit = idx % data_bits_per_chip;
+            chipStore[chip][bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        } else {
+            const std::uint64_t cidx = idx - data_bits;
+            const unsigned chip =
+                static_cast<unsigned>(cidx / code_bits_per_chip);
+            const std::uint64_t bit = cidx % code_bits_per_chip;
+            codeStore[chip][bit / vlewCodec.r()].flip(
+                static_cast<std::size_t>(bit % vlewCodec.r()));
+        }
+        ++flipped;
+    }
+    return flipped;
+}
+
+void
+PmRank::failChip(unsigned chip, Rng &rng)
+{
+    NVCK_ASSERT(chip <= dataChips, "chip out of range");
+    for (auto &byte : chipStore[chip])
+        byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    for (auto &code : codeStore[chip])
+        code.randomize(rng);
+}
+
+void
+PmRank::disableBlock(unsigned block)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    if (disabled[block])
+        return;
+    // Logically replace the block's bits with zeros in every chip's
+    // VLEW and in the RS word (Section V-E).
+    std::uint8_t zeros[blockBytes] = {};
+    writeBlock(block, zeros);
+    for (unsigned chip = 0; chip <= dataChips; ++chip) {
+        std::memset(chipBeat(chip, block), 0, chipBeatBytes);
+        std::memset(goldenBeat(chip, block), 0, chipBeatBytes);
+    }
+    disabled[block] = true;
+}
+
+bool
+PmRank::isDisabled(unsigned block) const
+{
+    return disabled.at(block);
+}
+
+void
+PmRank::goldenBlock(unsigned block, std::uint8_t *out) const
+{
+    for (unsigned c = 0; c < dataChips; ++c)
+        std::memcpy(out + c * chipBeatBytes, goldenBeat(c, block),
+                    chipBeatBytes);
+}
+
+bool
+PmRank::isPristine() const
+{
+    return chipStore == goldenStore && codeStore == goldenCode;
+}
+
+double
+PmRank::scrubSeconds(double capacity_bytes, double bus_bytes_per_sec)
+{
+    const ProposalParams p;
+    return capacity_bytes * (1.0 + p.totalStorageCost()) /
+           bus_bytes_per_sec;
+}
+
+} // namespace nvck

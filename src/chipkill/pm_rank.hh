@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Bit-accurate functional model of one persistent-memory rank under the
+ * paper's proposed protection layout (Fig 6):
+ *
+ *  - nine chips operate in lockstep: eight data chips plus one parity
+ *    chip; each chip contributes 8B to every 64B block;
+ *  - within each chip, every 256B of data in a row shares one 22-EC
+ *    BCH VLEW whose 33B of code bits live in the same row;
+ *  - the parity chip stores eight RS(72,64) check bytes per block (its
+ *    contents are themselves VLEW-protected like any chip).
+ *
+ * The model stores real bits, injects real errors, and runs the real
+ * codecs, implementing the paper's three operational paths:
+ *
+ *  - writes (Section V-D): the controller sends the bitwise XOR of old
+ *    and new data; each chip recovers the new data by XORing with its
+ *    stored old data and applies the linear BCH/RS code-bit delta.
+ *    Pre-existing cell errors propagate one-to-one and never spread.
+ *  - boot scrub (Section V-B): every VLEW is fetched and corrected; an
+ *    uncorrectable VLEW marks a failed chip, which is rebuilt through
+ *    RS erasure correction (or parity recomputation for the parity
+ *    chip).
+ *  - runtime reads (Section V-C, Fig 9): the per-block RS code
+ *    opportunistically corrects bit errors; more than `threshold`
+ *    corrections rejects the result and falls back to VLEW correction,
+ *    preserving the RS budget for chip failures.
+ */
+
+#ifndef NVCK_CHIPKILL_PM_RANK_HH
+#define NVCK_CHIPKILL_PM_RANK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+#include "ecc/code_params.hh"
+#include "common/types.hh"
+#include "ecc/rs.hh"
+
+namespace nvck {
+
+/** How a runtime read was resolved (Fig 9). */
+enum class ReadPath
+{
+    Clean,         //!< zero RS syndrome
+    RsAccepted,    //!< RS correction within the acceptance threshold
+    VlewFallback,  //!< RS rejected; VLEWs corrected the bit errors
+    ChipRecovered, //!< VLEW flagged a dead chip; RS erasure-corrected
+    Failed,        //!< uncorrectable
+};
+
+/** Result of a runtime block read. */
+struct BlockReadResult
+{
+    ReadPath path = ReadPath::Clean;
+    unsigned rsCorrections = 0;
+    unsigned vlewBitCorrections = 0;
+    bool dataCorrect = false; //!< matches the golden copy
+};
+
+/** Outcome of a boot-time scrub. */
+struct ScrubReport
+{
+    std::uint64_t vlewsScanned = 0;
+    std::uint64_t vlewsWithErrors = 0;
+    std::uint64_t bitsCorrected = 0;
+    unsigned chipsRecovered = 0;
+    bool parityChipRebuilt = false;
+    bool uncorrectable = false;
+};
+
+/** The rank. */
+class PmRank
+{
+  public:
+    /**
+     * @param num_blocks Capacity in 64B blocks; must be a multiple of
+     *        the VLEW span (32).
+     * @param params Geometry (defaults to the paper's).
+     */
+    explicit PmRank(unsigned num_blocks,
+                    const ProposalParams &params = ProposalParams{});
+
+    /** Fill with random golden content and encode all ECC. */
+    void initialize(Rng &rng);
+
+    unsigned blocks() const { return numBlocks; }
+    unsigned chips() const { return dataChips + 1; }
+    unsigned vlewsPerChip() const { return numVlews; }
+
+    /**
+     * Write a block through the paper's XOR-sum path: the argument is
+     * the new 64B value; the model forms the XOR against the golden old
+     * value (the LLC-held OMV) and lets each chip update data and code
+     * bits internally.
+     */
+    void writeBlock(unsigned block, const std::uint8_t *new_data);
+
+    /**
+     * Runtime read with opportunistic RS correction and VLEW fallback.
+     * @param out receives the corrected 64B.
+     * @param threshold max accepted RS corrections (2 in the paper).
+     */
+    BlockReadResult readBlock(unsigned block, std::uint8_t *out,
+                              unsigned threshold = 2);
+
+    /** Boot-time scrub of every VLEW, with chip-failure recovery. */
+    ScrubReport bootScrub();
+
+    /** Flip each stored bit (data and code) with probability @p rber. */
+    std::uint64_t injectErrors(Rng &rng, double rber);
+
+    /** Garble an entire chip (0..7 data, 8 = parity). */
+    void failChip(unsigned chip, Rng &rng);
+
+    /**
+     * Disable a worn-out block (Section V-E): logically zero its
+     * contribution to each chip's VLEW and update code bits.
+     */
+    void disableBlock(unsigned block);
+    bool isDisabled(unsigned block) const;
+
+    /**
+     * Mark a data cell permanently stuck (wear-out model, Section V-E):
+     * the stored bit reads back as @p value no matter what is written.
+     */
+    void setStuckBit(unsigned chip, std::uint64_t byte_index,
+                     unsigned bit, bool value);
+
+    /**
+     * Write-and-verify [86]: perform the write, re-read the raw stored
+     * beats, and return the number of cells that failed to take the
+     * intended value — the paper's mechanism for identifying worn-out
+     * blocks to disable.
+     */
+    unsigned writeVerify(unsigned block, const std::uint8_t *new_data);
+
+    /**
+     * Model I/O transmission errors on the memory bus (paper footnote
+     * 4): each transmitted beat bit flips with probability @p ber.
+     * With Write-CRC enabled (DDR4-style, crc.hh) the chip detects the
+     * corruption and requests a retransmit; without it the corrupted
+     * sum is silently committed.
+     */
+    void setBusFaultModel(double ber, bool crc_enabled,
+                          std::uint64_t seed = 1);
+
+    /** Retransmits triggered by Write-CRC so far. */
+    std::uint64_t crcRetries() const { return busRetries; }
+
+    /** Golden (error-free) copy of a block, for verification. */
+    void goldenBlock(unsigned block, std::uint8_t *out) const;
+
+    /** True when all stored bits and code bits are error-free. */
+    bool isPristine() const;
+
+    /**
+     * Estimated boot-scrub wall time for @p capacity_bytes of memory
+     * on a channel moving @p bus_bytes_per_sec (Section V-B: <1.5min
+     * per terabyte).
+     */
+    static double scrubSeconds(double capacity_bytes,
+                               double bus_bytes_per_sec);
+
+    const ProposalParams &params() const { return geom; }
+
+  private:
+    /** Stored (possibly erroneous) 8B beat of @p chip at @p block. */
+    std::uint8_t *chipBeat(unsigned chip, unsigned block);
+    const std::uint8_t *chipBeat(unsigned chip, unsigned block) const;
+
+    /** Golden 8B beat. */
+    std::uint8_t *goldenBeat(unsigned chip, unsigned block);
+    const std::uint8_t *goldenBeat(unsigned chip, unsigned block) const;
+
+    /** Build the VLEW codeword [code|data] for (chip, vlew) from store. */
+    BitVec assembleVlew(unsigned chip, unsigned vlew) const;
+    /** Write a (corrected) VLEW codeword back to the store. */
+    void storeVlew(unsigned chip, unsigned vlew, const BitVec &cw);
+
+    /** Assemble the stored RS codeword for a block. */
+    std::vector<GfElem> assembleRsWord(unsigned block) const;
+
+    /** Recompute golden RS check bytes for a block into the golden
+     *  parity store. */
+    void encodeGoldenRs(unsigned block);
+
+    /**
+     * Apply an 8-byte delta to a chip beat and its VLEW code bits.
+     * @param delta8 what the chip actually received and applied.
+     * @param intended8 what the controller meant to send (golden
+     *        tracking); null means identical to delta8.
+     */
+    void applyChipDelta(unsigned chip, unsigned block,
+                        const std::uint8_t *delta8,
+                        const std::uint8_t *intended8 = nullptr);
+
+    /** Transmit a beat across the faulty bus (with CRC retries). */
+    void transmit(std::uint8_t *beat);
+
+    /** Correct (chip, vlew) in place; returns corrections or -1. */
+    int correctVlew(unsigned chip, unsigned vlew);
+
+    /** Re-apply stuck cells to a chip's stored bytes in [lo, hi). */
+    void enforceStuck(unsigned chip, std::uint64_t lo,
+                      std::uint64_t hi);
+
+    /** Rebuild a dead data chip via RS erasure correction. */
+    bool rebuildDataChip(unsigned chip, ScrubReport &report);
+    /** Recompute the parity chip from (corrected) data chips. */
+    void rebuildParityChip();
+
+    ProposalParams geom;
+    unsigned numBlocks;
+    unsigned dataChips;
+    unsigned numVlews;
+    unsigned blocksPerVlew;
+
+    BchCodec vlewCodec;
+    RsCodec rsCodec;
+
+    /** chipStore[c]: numBlocks * 8 bytes (parity chip = RS bytes). */
+    std::vector<std::vector<std::uint8_t>> chipStore;
+    /** VLEW code bits: [chip][vlew] -> r-bit vector. */
+    std::vector<std::vector<BitVec>> codeStore;
+    /** Golden copies (no errors) for verification and OMV emulation. */
+    std::vector<std::vector<std::uint8_t>> goldenStore;
+    std::vector<std::vector<BitVec>> goldenCode;
+    std::vector<bool> disabled;
+    /** Per-chip stuck-cell masks and stuck values (data bytes). */
+    std::vector<std::vector<std::uint8_t>> stuckMask;
+    std::vector<std::vector<std::uint8_t>> stuckVal;
+    /** Bus fault model. */
+    double busBer = 0.0;
+    bool busCrc = true;
+    Rng busRng{1};
+    std::uint64_t busRetries = 0;
+};
+
+} // namespace nvck
+
+#endif // NVCK_CHIPKILL_PM_RANK_HH

@@ -1,0 +1,63 @@
+#include "schemes.hh"
+
+#include "reliability/sdc_model.hh"
+
+namespace nvck {
+
+SchemeTiming
+bitErrorOnlyScheme()
+{
+    SchemeTiming s;
+    s.name = "bit-error-only (14-EC BCH/block)";
+    s.storageOverhead = 0.28;
+    return s;
+}
+
+SchemeTiming
+proposalScheme(double runtime_rber)
+{
+    SchemeTiming s;
+    s.name = "proposal (VLEW boot + RS runtime)";
+    s.omvEnabled = true;
+    s.eurEnabled = true;
+    s.fetchOldOnOmvMiss = true;
+
+    SdcInputs in;
+    in.rber = runtime_rber;
+    // Reads with more than two byte errors reject the opportunistic RS
+    // correction and fetch the VLEW (Section V-C).
+    s.vlewFetchProb = vlewFallbackFraction(in, 2);
+
+    const ProposalParams p;
+    s.vlewFetchBlocks = p.vlewFetchOverheadBlocks() + 1;
+    s.storageOverhead = p.totalStorageCost();
+    return s;
+}
+
+SchemeTiming
+naiveVlewScheme(double runtime_rber)
+{
+    SchemeTiming s;
+    s.name = "naive VLEW (no runtime ECC, no OMV)";
+    s.fetchOldAlways = true;
+
+    SdcInputs in;
+    in.rber = runtime_rber;
+    // Any block containing a bit error needs the full VLEW (Fig 5).
+    s.vlewFetchProb = blockErrorFraction(in);
+
+    const ProposalParams p;
+    s.vlewFetchBlocks = p.vlewFetchOverheadBlocks();
+    s.storageOverhead = p.totalStorageCost();
+    return s;
+}
+
+void
+applyCFactor(SchemeTiming &scheme, double c_factor)
+{
+    const double bits_ratio = 33.0 / 8.0;
+    scheme.pmWriteScale = 1.0 + bits_ratio * c_factor;
+    scheme.pmWriteExtra = nsToTicks(20.0);
+}
+
+} // namespace nvck

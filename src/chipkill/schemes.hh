@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Catalogue of protection schemes as *timing behaviours* for the
+ * performance simulation. The bit-accurate encode/decode pipeline lives
+ * in layout.hh / runtime_corrector.hh / boot_scrub.hh; here each scheme
+ * is reduced to the knobs that perturb timing, exactly as the paper's
+ * own gem5 methodology does (Section VI):
+ *
+ *  - probability a PM demand read triggers a VLEW fetch (36-37 blocks),
+ *  - whether PM writes must fetch the old value (always, only on an
+ *    OMV miss, or never),
+ *  - PM write-latency inflation for iso-endurance (1 + 33/8 * C plus
+ *    20ns for on-die encode and internal old-data read),
+ *  - whether the LLC's OMV machinery and the NVRAM EUR are active.
+ */
+
+#ifndef NVCK_CHIPKILL_SCHEMES_HH
+#define NVCK_CHIPKILL_SCHEMES_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "ecc/code_params.hh"
+
+namespace nvck {
+
+/** Timing behaviour of one protection scheme. */
+struct SchemeTiming
+{
+    std::string name;
+    /** LLC preserves OMVs of dirty PM blocks (Section V-D). */
+    bool omvEnabled = false;
+    /** NVRAM chips coalesce VLEW code updates in an EUR. */
+    bool eurEnabled = false;
+    /** P(a PM demand read falls back to VLEW correction). */
+    double vlewFetchProb = 0.0;
+    /** Blocks over-fetched per VLEW correction (32 data + ~4 code). */
+    unsigned vlewFetchBlocks = 36;
+    /** Added decode latency for the VLEW path (22-EC BCH, ~200ns). */
+    Tick vlewDecodeLatency = nsToTicks(200);
+    /** PM write old-value fetch policy. */
+    bool fetchOldAlways = false;     //!< naive VLEW (no OMV caching)
+    bool fetchOldOnOmvMiss = false;  //!< proposal: only when LLC missed
+    /** Multiplier on PM tWR (iso-endurance inflation, set per run). */
+    double pmWriteScale = 1.0;
+    /** Additive PM write latency (encode + internal old-data read). */
+    Tick pmWriteExtra = 0;
+
+    /** Total storage overhead of the scheme (reporting only). */
+    double storageOverhead = 0.0;
+};
+
+/**
+ * Baseline from Section III-A / VII: per-block 14-EC BCH bit-error
+ * correction only. No chip failure protection, no VLEW traffic, plain
+ * writes. ~28% storage.
+ */
+SchemeTiming bitErrorOnlyScheme();
+
+/**
+ * The proposal (Section V) at a given runtime RBER: per-block RS used
+ * opportunistically with a 2-correction threshold (fallback probability
+ * from the analytical model), OMV caching, EUR coalescing, and
+ * iso-endurance write-latency inflation applied per-workload via
+ * applyCFactor(). 27% storage.
+ */
+SchemeTiming proposalScheme(double runtime_rber);
+
+/**
+ * Naive VLEW protection without the proposal's optimizations
+ * (Section IV / Fig 5): every bit-error correction fetches the VLEW,
+ * and every PM write read-modify-writes the old data from memory.
+ */
+SchemeTiming naiveVlewScheme(double runtime_rber);
+
+/**
+ * Set the iso-endurance write inflation from a measured C factor:
+ * tWR *= 1 + (33B / 8B) * C, plus 20ns (Section VI).
+ */
+void applyCFactor(SchemeTiming &scheme, double c_factor);
+
+} // namespace nvck
+
+#endif // NVCK_CHIPKILL_SCHEMES_HH

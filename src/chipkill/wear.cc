@@ -1,0 +1,141 @@
+#include "wear.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace nvck {
+
+namespace {
+
+constexpr unsigned noBlock = ~0u;
+
+} // namespace
+
+StartGapMapper::StartGapMapper(unsigned logical_blocks,
+                               unsigned move_interval)
+    : numLogical(logical_blocks),
+      interval(move_interval),
+      gap(logical_blocks),
+      logicalOf(logical_blocks + 1),
+      frameOf(logical_blocks)
+{
+    NVCK_ASSERT(numLogical >= 1, "need at least one block");
+    NVCK_ASSERT(interval >= 1, "gap interval must be positive");
+    for (unsigned l = 0; l < numLogical; ++l) {
+        logicalOf[l] = l;
+        frameOf[l] = l;
+    }
+    logicalOf[gap] = noBlock;
+}
+
+unsigned
+StartGapMapper::physical(unsigned logical) const
+{
+    NVCK_ASSERT(logical < numLogical, "logical block out of range");
+    return frameOf[logical];
+}
+
+std::optional<GapMove>
+StartGapMapper::onWrite()
+{
+    if (++writesSinceMove < interval)
+        return std::nullopt;
+    writesSinceMove = 0;
+
+    // The frame cyclically before the gap migrates into the gap.
+    const unsigned donor = (gap + frames() - 1) % frames();
+    const unsigned moving = logicalOf[donor];
+    NVCK_ASSERT(moving != noBlock, "two adjacent gaps");
+
+    GapMove move{donor, gap};
+    logicalOf[gap] = moving;
+    frameOf[moving] = gap;
+    logicalOf[donor] = noBlock;
+    gap = donor;
+    return move;
+}
+
+WearLevelledRank::WearLevelledRank(unsigned logical_blocks,
+                                   unsigned interval,
+                                   std::uint64_t seed)
+    : memory(((logical_blocks + 1 + 31) / 32) * 32),
+      mapper(logical_blocks, interval),
+      writes(memory.blocks(), 0)
+{
+    Rng rng(seed);
+    memory.initialize(rng);
+}
+
+void
+WearLevelledRank::writeBlock(unsigned logical, const std::uint8_t *data)
+{
+    const unsigned frame = mapper.physical(logical);
+    memory.writeBlock(frame, data);
+    ++writes[frame];
+
+    if (const auto move = mapper.onWrite()) {
+        // Migrate through the correction path, then zero the vacated
+        // frame so its VLEW contribution is well-defined (Section V-E's
+        // remap rule).
+        std::uint8_t buffer[blockBytes];
+        const auto res = memory.readBlock(move->from, buffer);
+        NVCK_ASSERT(res.path != ReadPath::Failed,
+                    "migration read failed");
+        memory.writeBlock(move->to, buffer);
+        ++writes[move->to];
+        std::uint8_t zeros[blockBytes] = {};
+        memory.writeBlock(move->from, zeros);
+        ++writes[move->from];
+        ++moveCount;
+    }
+}
+
+BlockReadResult
+WearLevelledRank::readBlock(unsigned logical, std::uint8_t *out,
+                            unsigned threshold)
+{
+    return memory.readBlock(mapper.physical(logical), out, threshold);
+}
+
+double
+WearLevelledRank::wearImbalance() const
+{
+    std::uint64_t total = 0, peak = 0;
+    unsigned used = 0;
+    for (unsigned f = 0; f < mapper.frames(); ++f) {
+        total += writes[f];
+        peak = std::max(peak, writes[f]);
+        ++used;
+    }
+    if (total == 0 || used == 0)
+        return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(used);
+    return static_cast<double>(peak) / mean;
+}
+
+BitVec
+EccRotation::rotate(const BitVec &logical) const
+{
+    NVCK_ASSERT(logical.size() == width, "code width mismatch");
+    BitVec out(width);
+    for (unsigned i = 0; i < width; ++i)
+        if (logical.get(i))
+            out.set(position(i), true);
+    return out;
+}
+
+BitVec
+EccRotation::unrotate(const BitVec &physical) const
+{
+    NVCK_ASSERT(physical.size() == width, "code width mismatch");
+    BitVec out(width);
+    for (unsigned i = 0; i < width; ++i)
+        if (physical.get(position(i)))
+            out.set(i, true);
+    return out;
+}
+
+} // namespace nvck

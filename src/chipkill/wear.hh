@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Section V-E: endurance management on top of the protected rank.
+ *
+ *  - StartGapMapper: start-gap-style wear leveling [87] — one spare
+ *    frame rotates through the physical space, migrating one block
+ *    every `interval` writes so hot logical blocks spread their wear.
+ *    The VLEW code bits stay consistent because a vacated frame is
+ *    simply written to zeros (the paper's remap rule).
+ *  - WearLevelledRank: PmRank + StartGapMapper glue with per-frame
+ *    write counters, so leveling effectiveness is measurable.
+ *  - EccRotation: periodic re-positioning of the code bits within a
+ *    row [88] so ECC cells wear no faster than data cells.
+ */
+
+#ifndef NVCK_CHIPKILL_WEAR_HH
+#define NVCK_CHIPKILL_WEAR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chipkill/pm_rank.hh"
+
+namespace nvck {
+
+/** One pending migration: copy frame `from` into frame `to`. */
+struct GapMove
+{
+    unsigned from;
+    unsigned to;
+};
+
+/**
+ * Start-gap-style remapper over N logical blocks and N+1 physical
+ * frames. Explicit mapping arrays keep the model obviously correct;
+ * real hardware achieves the same with two registers.
+ */
+class StartGapMapper
+{
+  public:
+    /**
+     * @param logical_blocks N.
+     * @param interval writes between gap movements (psi).
+     */
+    StartGapMapper(unsigned logical_blocks, unsigned interval);
+
+    /** Physical frame currently holding @p logical. */
+    unsigned physical(unsigned logical) const;
+
+    /** Frame currently serving as the gap. */
+    unsigned gapFrame() const { return gap; }
+
+    /**
+     * Account one write; every `interval` writes returns the migration
+     * the caller must perform (data moves from -> to; `from` becomes
+     * the new gap).
+     */
+    std::optional<GapMove> onWrite();
+
+    unsigned logicalBlocks() const { return numLogical; }
+    unsigned frames() const { return numLogical + 1; }
+
+  private:
+    unsigned numLogical;
+    unsigned interval;
+    unsigned writesSinceMove = 0;
+    unsigned gap;
+    /** logicalOf[frame] = logical block stored there (or ~0u = gap). */
+    std::vector<unsigned> logicalOf;
+    std::vector<unsigned> frameOf;
+};
+
+/** PmRank behind start-gap wear leveling. */
+class WearLevelledRank
+{
+  public:
+    /**
+     * @param logical_blocks usable capacity; one extra frame plus
+     *        VLEW-alignment padding is provisioned internally.
+     * @param interval gap-movement period in writes.
+     */
+    WearLevelledRank(unsigned logical_blocks, unsigned interval,
+                     std::uint64_t seed = 1);
+
+    unsigned blocks() const { return mapper.logicalBlocks(); }
+
+    void writeBlock(unsigned logical, const std::uint8_t *data);
+    BlockReadResult readBlock(unsigned logical, std::uint8_t *out,
+                              unsigned threshold = 2);
+
+    /** Per-physical-frame write counts (wear profile). */
+    const std::vector<std::uint64_t> &frameWrites() const
+    {
+        return writes;
+    }
+
+    /** max/mean frame-write ratio; 1.0 = perfectly level. */
+    double wearImbalance() const;
+
+    PmRank &rank() { return memory; }
+    unsigned migrations() const { return moveCount; }
+
+  private:
+    PmRank memory;
+    StartGapMapper mapper;
+    std::vector<std::uint64_t> writes;
+    unsigned moveCount = 0;
+};
+
+/**
+ * ECC-cell rotation [88]: per refresh epoch the code bits occupy a
+ * different offset within the row's spare region. The rotation is a
+ * cyclic shift; rotating and un-rotating must round-trip for any epoch.
+ */
+class EccRotation
+{
+  public:
+    explicit EccRotation(unsigned code_bits) : width(code_bits) {}
+
+    /** Advance to the next refresh epoch. */
+    void nextEpoch() { ++epoch; }
+
+    unsigned currentEpoch() const { return epoch; }
+
+    /** Physical position of logical code bit @p i this epoch. */
+    unsigned
+    position(unsigned i) const
+    {
+        return (i + epoch * stride) % width;
+    }
+
+    /** Store a logical code vector into its rotated physical layout. */
+    BitVec rotate(const BitVec &logical) const;
+
+    /** Recover the logical code vector from the physical layout. */
+    BitVec unrotate(const BitVec &physical) const;
+
+  private:
+    unsigned width;
+    unsigned epoch = 0;
+    /** Co-prime-ish stride so all cells are visited across epochs. */
+    static constexpr unsigned stride = 13;
+};
+
+} // namespace nvck
+
+#endif // NVCK_CHIPKILL_WEAR_HH

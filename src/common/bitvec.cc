@@ -1,0 +1,131 @@
+#include "bitvec.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "log.hh"
+#include "rng.hh"
+
+namespace nvck {
+
+void
+BitVec::clear()
+{
+    std::fill(words.begin(), words.end(), 0);
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t count = 0;
+    for (std::uint64_t w : words)
+        count += static_cast<std::size_t>(std::popcount(w));
+    return count;
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    NVCK_ASSERT(numBits == other.numBits, "BitVec length mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] ^= other.words[i];
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return numBits == other.numBits && words == other.words;
+}
+
+std::size_t
+BitVec::distance(const BitVec &other) const
+{
+    NVCK_ASSERT(numBits == other.numBits, "BitVec length mismatch");
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        count += static_cast<std::size_t>(
+            std::popcount(words[i] ^ other.words[i]));
+    return count;
+}
+
+void
+BitVec::randomize(Rng &rng)
+{
+    for (auto &w : words)
+        w = rng.next();
+    // Mask tail bits beyond numBits so equality/popcount stay consistent.
+    const unsigned tail = numBits & 63;
+    if (tail != 0 && !words.empty())
+        words.back() &= (1ull << tail) - 1;
+}
+
+std::size_t
+BitVec::injectErrors(Rng &rng, double ber)
+{
+    if (ber <= 0.0 || numBits == 0)
+        return 0;
+    std::size_t flipped = 0;
+    std::uint64_t pos = 0;
+    for (;;) {
+        pos += rng.geometric(ber);
+        if (pos > numBits)
+            break;
+        flip(pos - 1);
+        ++flipped;
+    }
+    return flipped;
+}
+
+void
+BitVec::injectExactErrors(Rng &rng, std::size_t count)
+{
+    NVCK_ASSERT(count <= numBits, "more errors than bits");
+    std::size_t injected = 0;
+    while (injected < count) {
+        const std::size_t idx = rng.below(numBits);
+        // Re-draw on collision; counts are tiny relative to length.
+        if (!get(idx)) {
+            flip(idx);
+            ++injected;
+        }
+    }
+}
+
+std::uint64_t
+BitVec::getBits(std::size_t idx, unsigned width) const
+{
+    NVCK_ASSERT(width >= 1 && width <= 64, "bad field width");
+    NVCK_ASSERT(idx + width <= numBits, "field out of range");
+    const std::size_t word = idx >> 6;
+    const unsigned shift = idx & 63;
+    std::uint64_t value = words[word] >> shift;
+    if (shift + width > 64)
+        value |= words[word + 1] << (64 - shift);
+    if (width < 64)
+        value &= (1ull << width) - 1;
+    return value;
+}
+
+void
+BitVec::setBits(std::size_t idx, unsigned width, std::uint64_t value)
+{
+    NVCK_ASSERT(width >= 1 && width <= 64, "bad field width");
+    NVCK_ASSERT(idx + width <= numBits, "field out of range");
+    if (width < 64)
+        value &= (1ull << width) - 1;
+    const std::size_t word = idx >> 6;
+    const unsigned shift = idx & 63;
+    const std::uint64_t field_mask =
+        (width == 64) ? ~0ull : ((1ull << width) - 1);
+    const std::uint64_t low_mask = field_mask << shift;
+    words[word] = (words[word] & ~low_mask) | (value << shift);
+    if (shift + width > 64) {
+        const unsigned high_bits = shift + width - 64;
+        const std::uint64_t high_mask = (1ull << high_bits) - 1;
+        words[word + 1] =
+            (words[word + 1] & ~high_mask) | (value >> (64 - shift));
+    }
+}
+
+} // namespace nvck

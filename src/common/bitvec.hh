@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A fixed-size bit vector packed into 64-bit words, used to hold ECC
+ * codewords (data + check bits) for the bit-accurate codec pipeline.
+ */
+
+#ifndef NVCK_COMMON_BITVEC_HH
+#define NVCK_COMMON_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nvck {
+
+class Rng;
+
+/**
+ * Packed vector of bits with the word-level operations the ECC codecs
+ * need: XOR, shifts within a word span, popcount, and random error
+ * injection.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct an all-zero vector of @p nbits bits. */
+    explicit BitVec(std::size_t nbits)
+        : numBits(nbits), words((nbits + 63) / 64, 0)
+    {}
+
+    /** Number of bits held. */
+    std::size_t size() const { return numBits; }
+
+    /** Read bit @p idx. */
+    bool
+    get(std::size_t idx) const
+    {
+        return (words[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /** Write bit @p idx. */
+    void
+    set(std::size_t idx, bool value)
+    {
+        const std::uint64_t mask = 1ull << (idx & 63);
+        if (value)
+            words[idx >> 6] |= mask;
+        else
+            words[idx >> 6] &= ~mask;
+    }
+
+    /** Invert bit @p idx. */
+    void flip(std::size_t idx) { words[idx >> 6] ^= 1ull << (idx & 63); }
+
+    /** Set all bits to zero. */
+    void clear();
+
+    /** Number of one bits. */
+    std::size_t popcount() const;
+
+    /** XOR another vector of identical length into this one. */
+    BitVec &operator^=(const BitVec &other);
+
+    bool operator==(const BitVec &other) const;
+
+    /** Hamming distance to @p other (must have identical length). */
+    std::size_t distance(const BitVec &other) const;
+
+    /** Fill with uniformly random bits. */
+    void randomize(Rng &rng);
+
+    /**
+     * Flip each bit independently with probability @p ber; returns the
+     * number of bits flipped. Uses geometric skipping so the cost is
+     * proportional to the expected number of errors, not the length.
+     */
+    std::size_t injectErrors(Rng &rng, double ber);
+
+    /** Flip exactly @p count distinct random bit positions. */
+    void injectExactErrors(Rng &rng, std::size_t count);
+
+    /** Raw word access for fast copies. */
+    const std::vector<std::uint64_t> &raw() const { return words; }
+    std::vector<std::uint64_t> &raw() { return words; }
+
+    /** Read @p width (<=64) bits starting at bit @p idx, LSB first. */
+    std::uint64_t getBits(std::size_t idx, unsigned width) const;
+
+    /** Write the low @p width bits of @p value at bit @p idx. */
+    void setBits(std::size_t idx, unsigned width, std::uint64_t value);
+
+  private:
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace nvck
+
+#endif // NVCK_COMMON_BITVEC_HH

@@ -1,0 +1,41 @@
+#include "event.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> action)
+{
+    NVCK_ASSERT(when >= currentTick, "scheduling into the past: ", when,
+                " < ", currentTick);
+    events.push(Entry{when, nextSeq++, std::move(action)});
+}
+
+void
+EventQueue::run()
+{
+    while (!events.empty()) {
+        // priority_queue::top returns const ref; move the action out via
+        // a copy of the entry before popping.
+        Entry entry = events.top();
+        events.pop();
+        currentTick = entry.when;
+        entry.action();
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        Entry entry = events.top();
+        events.pop();
+        currentTick = entry.when;
+        entry.action();
+    }
+    if (currentTick < limit)
+        currentTick = limit;
+}
+
+} // namespace nvck

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Discrete-event simulation kernel: a time-ordered queue of callbacks.
+ * All timing components (cores, caches, memory controller) schedule
+ * work against one shared EventQueue; ties break in FIFO order so runs
+ * are fully deterministic.
+ */
+
+#ifndef NVCK_COMMON_EVENT_HH
+#define NVCK_COMMON_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvck {
+
+/** The simulation event queue. */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** Schedule @p action to run at absolute time @p when (>= now). */
+    void schedule(Tick when, std::function<void()> action);
+
+    /** Schedule @p action @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, std::function<void()> action)
+    {
+        schedule(currentTick + delay, std::move(action));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /** Execute events in order until the queue drains. */
+    void run();
+
+    /**
+     * Execute events with timestamps <= @p limit; afterwards now() ==
+     * limit (or later if an executed event scheduled past it and was
+     * itself <= limit, which cannot happen for monotone schedules).
+     */
+    void runUntil(Tick limit);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> action;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace nvck
+
+#endif // NVCK_COMMON_EVENT_HH

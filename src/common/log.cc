@@ -1,0 +1,43 @@
+#include "log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvck {
+namespace detail {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+logAndAbort(LogLevel level, const std::string &msg, const char *file,
+            int line)
+{
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level), msg.c_str(),
+                 file, line);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace nvck

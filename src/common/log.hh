@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers in the gem5 spirit:
+ * panic() for internal invariant violations (a bug in this library),
+ * fatal() for unrecoverable user/configuration errors, and warn()/inform()
+ * for status messages.
+ */
+
+#ifndef NVCK_COMMON_LOG_HH
+#define NVCK_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace nvck {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit a formatted message; terminates the process for Fatal/Panic. */
+[[noreturn]] void logAndAbort(LogLevel level, const std::string &msg,
+                              const char *file, int line);
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Fold a parameter pack into one string via ostream insertion. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *file, int line, Args &&...args)
+{
+    detail::logAndAbort(LogLevel::Panic,
+                        detail::concat(std::forward<Args>(args)...), file,
+                        line);
+}
+
+/** Report an unrecoverable user error and exit. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *file, int line, Args &&...args)
+{
+    detail::logAndAbort(LogLevel::Fatal,
+                        detail::concat(std::forward<Args>(args)...), file,
+                        line);
+}
+
+/** Emit a non-fatal warning. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage(LogLevel::Warn,
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage(LogLevel::Inform,
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace nvck
+
+/** Abort on a library bug; use for conditions that should never happen. */
+#define NVCK_PANIC(...) ::nvck::panic(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit on an unrecoverable user/configuration error. */
+#define NVCK_FATAL(...) ::nvck::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Panic unless @p cond holds. */
+#define NVCK_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::nvck::panic(__FILE__, __LINE__, "assertion failed: " #cond " ",\
+                          ##__VA_ARGS__);                                    \
+        }                                                                    \
+    } while (0)
+
+#endif // NVCK_COMMON_LOG_HH

@@ -1,0 +1,66 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "log.hh"
+
+namespace nvck {
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    NVCK_ASSERT(p > 0.0 && p <= 1.0, "geometric probability out of range");
+    if (p >= 1.0)
+        return 1;
+    // Inverse-CDF sampling: ceil(ln(U) / ln(1-p)).
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double trials = std::ceil(std::log(u) / std::log1p(-p));
+    if (trials < 1.0)
+        trials = 1.0;
+    return static_cast<std::uint64_t>(trials);
+}
+
+std::uint64_t
+Rng::binomial(std::uint64_t n, double p)
+{
+    NVCK_ASSERT(p >= 0.0 && p <= 1.0, "binomial probability out of range");
+    if (n == 0 || p == 0.0)
+        return 0;
+    if (p == 1.0)
+        return n;
+
+    const double mean = static_cast<double>(n) * p;
+    if (mean < 32.0) {
+        // Sample via geometric skips: count successes by jumping between
+        // them. Expected work is O(np), independent of n.
+        std::uint64_t successes = 0;
+        std::uint64_t pos = 0;
+        for (;;) {
+            pos += geometric(p);
+            if (pos > n)
+                break;
+            ++successes;
+        }
+        return successes;
+    }
+
+    // Gaussian approximation with continuity correction, clamped to [0, n].
+    const double sd = std::sqrt(mean * (1.0 - p));
+    // Box-Muller transform.
+    double u1 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double sample = std::round(mean + sd * z);
+    if (sample < 0.0)
+        sample = 0.0;
+    if (sample > static_cast<double>(n))
+        sample = static_cast<double>(n);
+    return static_cast<std::uint64_t>(sample);
+}
+
+} // namespace nvck

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) used by
+ * workload generators and Monte-Carlo fault injection. Deterministic,
+ * seed-reproducible streams are required so that experiments are exactly
+ * repeatable across runs and platforms.
+ */
+
+#ifndef NVCK_COMMON_RNG_HH
+#define NVCK_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace nvck {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Fast, 256-bit state, and
+ * statistically strong enough for simulation purposes.
+ */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) via Lemire's method. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric inter-arrival sample: number of independent Bernoulli(p)
+     * trials until the first success (>= 1). Used to skip ahead when
+     * injecting rare errors into long bit streams.
+     */
+    std::uint64_t
+    geometric(double p);
+
+    /** Binomial(n, p) sample; exact for small n, normal approx for large. */
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace nvck
+
+#endif // NVCK_COMMON_RNG_HH

@@ -1,0 +1,41 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace nvck {
+
+double
+Histogram::cumulativeAt(std::size_t idx) const
+{
+    if (total == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i <= idx && i < counts.size(); ++i)
+        below += counts[i];
+    return static_cast<double>(below) / static_cast<double>(total);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    overflow = 0;
+    total = 0;
+}
+
+void
+StatGroup::record(const std::string &stat, double value)
+{
+    scalars[stat] = value;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat, value] : scalars) {
+        os << name << '.' << stat << ' ' << std::setprecision(8) << value
+           << '\n';
+    }
+}
+
+} // namespace nvck

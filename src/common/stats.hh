@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, running averages,
+ * and fixed-bucket histograms. Components expose their statistics through
+ * a StatGroup so experiment harnesses can dump them uniformly.
+ */
+
+#ifndef NVCK_COMMON_STATS_HH
+#define NVCK_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvck {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { total += by; }
+    std::uint64_t value() const { return total; }
+    void reset() { total = 0; }
+
+  private:
+    std::uint64_t total = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Average
+{
+  public:
+    void
+    sample(double value)
+    {
+        sum += value;
+        ++count;
+        if (count == 1 || value < minimum)
+            minimum = value;
+        if (count == 1 || value > maximum)
+            maximum = value;
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+    double min() const { return count ? minimum : 0.0; }
+    double max() const { return count ? maximum : 0.0; }
+    std::uint64_t samples() const { return count; }
+    void reset() { *this = Average(); }
+
+  private:
+    double sum = 0.0;
+    double minimum = 0.0;
+    double maximum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/** Histogram over integer values with unit-width buckets [0, size). */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 16)
+        : counts(buckets, 0)
+    {}
+
+    void
+    sample(std::size_t value)
+    {
+        if (value >= counts.size())
+            ++overflow;
+        else
+            ++counts[value];
+        ++total;
+    }
+
+    std::uint64_t bucket(std::size_t idx) const { return counts.at(idx); }
+    std::uint64_t overflowed() const { return overflow; }
+    std::uint64_t samples() const { return total; }
+    std::size_t buckets() const { return counts.size(); }
+
+    /** Fraction of samples with value <= idx. */
+    double cumulativeAt(std::size_t idx) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+};
+
+/**
+ * A named bag of statistics owned by a simulation component. The group
+ * stores formatted name → value pairs at dump time, so components can
+ * register scalars lazily.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name) : name(std::move(group_name)) {}
+
+    /** Record a scalar for dumping. */
+    void record(const std::string &stat, double value);
+
+    /** Print "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &groupName() const { return name; }
+    const std::map<std::string, double> &values() const { return scalars; }
+
+  private:
+    std::string name;
+    std::map<std::string, double> scalars;
+};
+
+} // namespace nvck
+
+#endif // NVCK_COMMON_STATS_HH

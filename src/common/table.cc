@@ -1,0 +1,96 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "log.hh"
+
+namespace nvck {
+
+Table::Table(std::vector<std::string> column_headers)
+    : headers(std::move(column_headers))
+{}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    NVCK_ASSERT(!rows.empty(), "cell() before row()");
+    rows.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int digits)
+{
+    return cell(formatNumber(value, digits));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::pct(double fraction, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return cell(std::string(buf));
+}
+
+std::string
+Table::formatNumber(double value, int digits)
+{
+    char buf[64];
+    const double mag = std::fabs(value);
+    if (value != 0.0 && (mag < 1e-3 || mag >= 1e7))
+        std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "| ";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << text;
+            for (std::size_t pad = text.size(); pad < widths[c]; ++pad)
+                os << ' ';
+            os << " | ";
+        }
+        os << '\n';
+    };
+
+    print_row(headers);
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        for (std::size_t i = 0; i < widths[c] + 2; ++i)
+            os << '-';
+        os << "|";
+    }
+    os << '\n';
+    for (const auto &r : rows)
+        print_row(r);
+}
+
+} // namespace nvck

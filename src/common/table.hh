@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harnesses to print
+ * paper-figure reproductions as aligned rows/series.
+ */
+
+#ifndef NVCK_COMMON_TABLE_HH
+#define NVCK_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvck {
+
+/**
+ * Collects rows of string cells and prints them with per-column
+ * alignment. Numeric helpers format doubles compactly (fixed or
+ * scientific as appropriate).
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> column_headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &text);
+
+    /** Append a formatted numeric cell. @p digits = significant digits. */
+    Table &cell(double value, int digits = 4);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+
+    /** Append a percentage cell, e.g. 0.27 -> "27.0%". */
+    Table &pct(double fraction, int decimals = 1);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Format a double compactly (helper also used standalone). */
+    static std::string formatNumber(double value, int digits = 4);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace nvck
+
+#endif // NVCK_COMMON_TABLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the nvchipkill libraries.
+ */
+
+#ifndef NVCK_COMMON_TYPES_HH
+#define NVCK_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace nvck {
+
+/** Physical byte address within the simulated memory system. */
+using Addr = std::uint64_t;
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Processor-core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** One tick per picosecond. */
+constexpr Tick ticksPerNs = 1000;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * ticksPerNs);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / ticksPerNs;
+}
+
+/** Size of one memory block (cache line) in bytes. */
+constexpr unsigned blockBytes = 64;
+
+/** Bytes contributed by each chip to an accessed memory block. */
+constexpr unsigned chipBeatBytes = 8;
+
+} // namespace nvck
+
+#endif // NVCK_COMMON_TYPES_HH

@@ -1,0 +1,137 @@
+#include "core.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+Core::Core(unsigned id, EventQueue &event_queue, CoreContext &context,
+           Workload &workload, const CoreConfig &config)
+    : coreId(id), eq(event_queue), ctx(context), load(workload),
+      cfg(config)
+{}
+
+Tick
+Core::cyclesToTicks(double c) const
+{
+    return static_cast<Tick>(c * 1000.0 / cfg.freqGhz);
+}
+
+Cycle
+Core::cycles() const
+{
+    return static_cast<Cycle>(
+        static_cast<double>(localTick - statsStartTick) * cfg.freqGhz /
+        1000.0);
+}
+
+void
+Core::start()
+{
+    localTick = eq.now();
+    statsStartTick = localTick;
+    eq.schedule(localTick, [this] { step(); });
+}
+
+void
+Core::step()
+{
+    NVCK_ASSERT(state == State::Running, "step while stalled");
+    if (localTick < eq.now())
+        localTick = eq.now();
+    const Tick budget_end = localTick + cfg.quantum;
+
+    while (localTick < budget_end) {
+        if (!holdingOp) {
+            heldOp = load.next(coreId);
+            holdingOp = true;
+        }
+        const TraceOp &op = heldOp;
+
+        // Non-memory work preceding the op.
+        const Tick gap_ticks = cyclesToTicks(
+            static_cast<double>(op.gap) / cfg.issueWidth);
+
+        switch (op.kind) {
+          case TraceOp::Kind::Idle:
+            localTick += gap_ticks + nsToTicks(op.idleNs);
+            break;
+
+          case TraceOp::Kind::Load:
+          case TraceOp::Kind::Store: {
+            // Loads and stores share the outstanding-miss window
+            // (ROB/MSHR budget); neither waits for off-chip data unless
+            // the window is full. Dependence chains are modelled by the
+            // workload's MLP (window size 1 serialises misses).
+            if (pendingLoads >= load.mlp()) {
+                // Window full: wait for a completion to resume.
+                state = State::StallMem;
+                stallStart = localTick;
+                return;
+            }
+            localTick += gap_ticks;
+            Cycle lat = 0;
+            const bool is_store = op.kind == TraceOp::Kind::Store;
+            const bool local = ctx.access(
+                coreId, op.addr, is_store, op.isPm, localTick, &lat,
+                [this](Tick t) {
+                    NVCK_ASSERT(pendingLoads > 0, "spurious completion");
+                    --pendingLoads;
+                    if (state == State::StallMem) {
+                        state = State::Running;
+                        if (t > localTick) {
+                            stallMemTicks += t - stallStart;
+                            localTick = t;
+                        }
+                        eq.schedule(std::max(t, eq.now()),
+                                    [this] { step(); });
+                    }
+                });
+            if (local) {
+                localTick += cyclesToTicks(static_cast<double>(lat));
+            } else {
+                ++pendingLoads;
+                localTick += cyclesToTicks(1.0);
+            }
+            ++memoryOps;
+            break;
+          }
+
+          case TraceOp::Kind::Clean:
+            localTick += gap_ticks;
+            ctx.clean(coreId, op.addr, op.isPm, localTick);
+            localTick += cyclesToTicks(1.0);
+            ++memoryOps;
+            break;
+
+          case TraceOp::Kind::Fence:
+            localTick += gap_ticks;
+            if (ctx.persistsPending(coreId)) {
+                // Consume the op now; resume when persists drain.
+                retired += op.gap + 1;
+                holdingOp = false;
+                state = State::StallFence;
+                stallStart = localTick;
+                ctx.onPersistDrain(coreId, [this](Tick t) {
+                    NVCK_ASSERT(state == State::StallFence,
+                                "unexpected fence resume");
+                    state = State::Running;
+                    if (t > localTick) {
+                        stallFenceTicks += t - stallStart;
+                        localTick = t;
+                    }
+                    eq.schedule(std::max(t, eq.now()),
+                                [this] { step(); });
+                });
+                return;
+            }
+            break;
+        }
+
+        retired += op.gap + 1;
+        holdingOp = false;
+    }
+
+    eq.schedule(std::max(localTick, eq.now()), [this] { step(); });
+}
+
+} // namespace nvck

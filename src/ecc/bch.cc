@@ -1,0 +1,314 @@
+#include "bch.hh"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "common/log.hh"
+#include "gf/gfpoly.hh"
+
+namespace nvck {
+
+namespace {
+
+/**
+ * Minimal polynomial (over GF(2)) of alpha^e: the product of
+ * (x + alpha^c) over the cyclotomic coset of e modulo 2^m - 1.
+ */
+BinPoly
+minimalPoly(const Gf2m &gf, std::uint32_t e)
+{
+    const std::uint32_t n = gf.order();
+    std::vector<std::uint32_t> coset;
+    std::uint32_t c = e % n;
+    do {
+        coset.push_back(c);
+        c = static_cast<std::uint32_t>(
+            (2ull * c) % n);
+    } while (c != e % n);
+
+    GfPoly prod = GfPoly::constant(1);
+    for (std::uint32_t exp : coset) {
+        const GfPoly factor({gf.alphaPow(exp), 1});
+        prod = GfPoly::mul(gf, prod, factor);
+    }
+
+    BinPoly out;
+    for (int i = 0; i <= prod.degree(); ++i) {
+        const GfElem coeff = prod.coeff(static_cast<std::size_t>(i));
+        NVCK_ASSERT(coeff == 0 || coeff == 1,
+                    "minimal polynomial has non-binary coefficient");
+        if (coeff == 1)
+            out.setBit(static_cast<std::size_t>(i));
+    }
+    return out;
+}
+
+/** Smallest coset member, used to deduplicate minimal polynomials. */
+std::uint32_t
+cosetLeader(std::uint32_t e, std::uint32_t n)
+{
+    std::uint32_t leader = e % n;
+    std::uint32_t c = leader;
+    do {
+        c = static_cast<std::uint32_t>((2ull * c) % n);
+        leader = std::min(leader, c);
+    } while (c != e % n);
+    return leader;
+}
+
+unsigned
+pickFieldDegree(unsigned data_bits, unsigned correct_bits)
+{
+    for (unsigned m = 3; m <= 16; ++m) {
+        if (data_bits + correct_bits * m <= (1u << m) - 1)
+            return m;
+    }
+    NVCK_FATAL("no GF(2^m) with m <= 16 fits k=", data_bits,
+               " t=", correct_bits);
+}
+
+} // namespace
+
+BchCodec::BchCodec(unsigned data_bits, unsigned correct_bits,
+                   unsigned field_degree)
+    : dataBits(data_bits),
+      correctBits(correct_bits),
+      checkBits(0),
+      gf(field_degree ? field_degree
+                      : pickFieldDegree(data_bits, correct_bits))
+{
+    NVCK_ASSERT(correct_bits >= 1, "BCH needs t >= 1");
+
+    // Generator = product of the distinct minimal polynomials of
+    // alpha^1, alpha^3, ..., alpha^(2t-1).
+    std::set<std::uint32_t> leaders;
+    gen = BinPoly::one();
+    for (unsigned i = 1; i <= 2 * correct_bits - 1; i += 2) {
+        const std::uint32_t leader = cosetLeader(i, gf.order());
+        if (leaders.insert(leader).second)
+            gen = BinPoly::mul(gen, minimalPoly(gf, i));
+    }
+    checkBits = static_cast<unsigned>(gen.degree());
+    NVCK_ASSERT(dataBits + checkBits <= gf.order(),
+                "shortened BCH does not fit in GF(2^", gf.m(), ")");
+
+    // Keep only the low part of the generator (without the x^r term):
+    // that is what the LFSR XORs into the remainder on feedback.
+    genWords = gen.raw();
+    genWords.resize((checkBits + 64) / 64, 0);
+    genWords[checkBits >> 6] &= ~(1ull << (checkBits & 63));
+
+    // Precompute alpha^(j*i) tables for odd syndrome indices j, flattened
+    // per j over codeword bit positions i.
+    const unsigned n_bits = dataBits + checkBits;
+    oddSynTables.resize(correctBits);
+    for (unsigned idx = 0; idx < correctBits; ++idx) {
+        const std::uint64_t j = 2ull * idx + 1;
+        auto &tab = oddSynTables[idx];
+        tab.resize(n_bits);
+        std::uint64_t e = 0;
+        for (unsigned i = 0; i < n_bits; ++i) {
+            tab[i] = gf.alphaPow(e);
+            e += j;
+            if (e >= gf.order())
+                e -= gf.order();
+        }
+    }
+}
+
+BitVec
+BchCodec::encode(const BitVec &data) const
+{
+    NVCK_ASSERT(data.size() == dataBits, "BCH encode: bad data length");
+    BitVec check = encodeDelta(data);
+    BitVec codeword(n());
+    for (unsigned i = 0; i < checkBits; ++i)
+        if (check.get(i))
+            codeword.set(i, true);
+    for (unsigned i = 0; i < dataBits; ++i)
+        if (data.get(i))
+            codeword.set(checkBits + i, true);
+    return codeword;
+}
+
+BitVec
+BchCodec::encodeDelta(const BitVec &data_delta) const
+{
+    NVCK_ASSERT(data_delta.size() == dataBits,
+                "BCH encodeDelta: bad data length");
+    // LFSR division: remainder of d(x) * x^r by g(x), processing data
+    // bits from the highest coefficient downward.
+    const unsigned rem_words = (checkBits + 63) / 64;
+    std::vector<std::uint64_t> rem(rem_words + 1, 0);
+    const unsigned top_bit = checkBits - 1;
+
+    for (unsigned i = dataBits; i-- > 0;) {
+        const bool data_bit = data_delta.get(i);
+        const bool feedback =
+            data_bit ^ (((rem[top_bit >> 6] >> (top_bit & 63)) & 1) != 0);
+        // Shift remainder left one bit, discarding the old top bit.
+        for (unsigned w = rem_words; w-- > 1;)
+            rem[w] = (rem[w] << 1) | (rem[w - 1] >> 63);
+        rem[0] <<= 1;
+        rem[checkBits >> 6] &= ~(1ull << (checkBits & 63));
+        if (feedback) {
+            for (unsigned w = 0; w < rem_words; ++w)
+                rem[w] ^= genWords[w];
+        }
+    }
+
+    BitVec check(checkBits);
+    for (unsigned i = 0; i < checkBits; ++i)
+        if ((rem[i >> 6] >> (i & 63)) & 1)
+            check.set(i, true);
+    return check;
+}
+
+void
+BchCodec::reencode(BitVec &codeword) const
+{
+    NVCK_ASSERT(codeword.size() == n(), "BCH reencode: bad length");
+    BitVec check = encodeDelta(extractData(codeword));
+    for (unsigned i = 0; i < checkBits; ++i)
+        codeword.set(i, check.get(i));
+}
+
+BitVec
+BchCodec::extractData(const BitVec &codeword) const
+{
+    NVCK_ASSERT(codeword.size() == n(), "BCH extractData: bad length");
+    BitVec data(dataBits);
+    for (unsigned i = 0; i < dataBits; ++i)
+        if (codeword.get(checkBits + i))
+            data.set(i, true);
+    return data;
+}
+
+bool
+BchCodec::isCodeword(const BitVec &codeword) const
+{
+    NVCK_ASSERT(codeword.size() == n(), "BCH isCodeword: bad length");
+    // Fast residue check: r(x) mod g(x) == 0.
+    BinPoly received;
+    for (unsigned i = 0; i < n(); ++i)
+        if (codeword.get(i))
+            received.setBit(i);
+    return BinPoly::mod(received, gen).isZero();
+}
+
+std::vector<GfElem>
+BchCodec::syndromes(const BitVec &codeword) const
+{
+    std::vector<GfElem> syn(2 * correctBits, 0);
+    const unsigned n_bits = n();
+    // Odd syndromes from the tables; iterate set bits word-by-word.
+    const auto &words = codeword.raw();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = words[w];
+        while (bits) {
+            const unsigned i =
+                static_cast<unsigned>(w * 64 +
+                                      std::countr_zero(bits));
+            bits &= bits - 1;
+            if (i >= n_bits)
+                break;
+            for (unsigned idx = 0; idx < correctBits; ++idx)
+                syn[2 * idx] ^= oddSynTables[idx][i];
+        }
+    }
+    // Even syndromes via the binary-BCH identity S_{2j} = S_j^2. Work
+    // into a properly indexed array: entry j-1 holds S_j.
+    std::vector<GfElem> out(2 * correctBits, 0);
+    for (unsigned idx = 0; idx < correctBits; ++idx)
+        out[2 * idx] = syn[2 * idx]; // S_{2idx+1}
+    for (unsigned j = 2; j <= 2 * correctBits; j += 2) {
+        const GfElem half = out[j / 2 - 1];
+        out[j - 1] = gf.mul(half, half);
+    }
+    return out;
+}
+
+BchDecodeResult
+BchCodec::decode(BitVec &codeword) const
+{
+    NVCK_ASSERT(codeword.size() == n(), "BCH decode: bad length");
+    BchDecodeResult result;
+
+    if (isCodeword(codeword)) {
+        result.status = DecodeStatus::Clean;
+        return result;
+    }
+
+    const std::vector<GfElem> syn = syndromes(codeword);
+
+    // Berlekamp-Massey over GF(2^m).
+    GfPoly lambda = GfPoly::constant(1);
+    GfPoly prev = GfPoly::constant(1);
+    unsigned l = 0;
+    unsigned shift = 1;
+    GfElem prev_disc = 1;
+    for (unsigned step = 0; step < 2 * correctBits; ++step) {
+        GfElem disc = syn[step];
+        for (unsigned i = 1; i <= l; ++i)
+            disc ^= gf.mul(lambda.coeff(i), syn[step - i]);
+        if (disc == 0) {
+            ++shift;
+            continue;
+        }
+        const GfPoly adjust = GfPoly::scale(
+            gf, GfPoly::mul(gf, GfPoly::monomial(1, shift), prev),
+            gf.div(disc, prev_disc));
+        const GfPoly next = GfPoly::add(lambda, adjust);
+        if (2 * l <= step) {
+            prev = lambda;
+            prev_disc = disc;
+            l = step + 1 - l;
+            shift = 1;
+        } else {
+            ++shift;
+        }
+        lambda = next;
+    }
+
+    if (l > correctBits || lambda.degree() != static_cast<int>(l)) {
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+
+    // Chien search over the shortened positions [0, n).
+    std::vector<std::uint32_t> error_positions;
+    const unsigned nu = l;
+    // term[j] tracks lambda_j * alpha^(-i*j) as i advances.
+    std::vector<GfElem> term(nu + 1);
+    for (unsigned j = 0; j <= nu; ++j)
+        term[j] = lambda.coeff(j);
+    const unsigned n_bits = n();
+    for (unsigned i = 0; i < n_bits; ++i) {
+        GfElem sum = 0;
+        for (unsigned j = 0; j <= nu; ++j)
+            sum ^= term[j];
+        if (sum == 0)
+            error_positions.push_back(i);
+        for (unsigned j = 1; j <= nu; ++j)
+            term[j] = gf.mul(term[j],
+                             gf.alphaPow(gf.order() - j));
+    }
+
+    if (error_positions.size() != nu) {
+        // Roots outside the shortened range (or repeated roots): the
+        // pattern is uncorrectable.
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+
+    for (std::uint32_t pos : error_positions)
+        codeword.flip(pos);
+
+    result.status = DecodeStatus::Corrected;
+    result.corrections = nu;
+    result.positions = std::move(error_positions);
+    return result;
+}
+
+} // namespace nvck

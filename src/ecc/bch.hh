@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Binary BCH codec: systematic encoding via LFSR division by the
+ * generator polynomial, decoding via syndromes, Berlekamp-Massey, and
+ * Chien search. Supports shortened codes (k smaller than the natural
+ * 2^m - 1 - r), which is how both the per-block 14-EC code and the
+ * per-chip 22-EC VLEW code of the paper are realised.
+ */
+
+#ifndef NVCK_ECC_BCH_HH
+#define NVCK_ECC_BCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "gf/binpoly.hh"
+#include "gf/gf2m.hh"
+
+namespace nvck {
+
+/** Outcome of a BCH decode attempt. */
+enum class DecodeStatus
+{
+    Clean,         //!< no errors detected
+    Corrected,     //!< errors found and corrected
+    Uncorrectable, //!< error pattern exceeds the code's capability
+};
+
+/** Result of BchCodec::decode. */
+struct BchDecodeResult
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    /** Number of bit corrections applied. */
+    unsigned corrections = 0;
+    /** Corrected bit positions within the codeword. */
+    std::vector<std::uint32_t> positions;
+};
+
+/**
+ * A t-bit-error-correcting binary BCH code over GF(2^m) protecting
+ * k data bits. Codeword layout (bit index = coefficient of x^index):
+ * bits [0, r) hold the check bits, bits [r, r + k) hold the data, where
+ * r = deg(generator).
+ */
+class BchCodec
+{
+  public:
+    /**
+     * Construct the code.
+     * @param data_bits  k, number of protected data bits.
+     * @param correct_bits  t, the design correction capability.
+     * @param field_degree  m; 0 picks the smallest m that fits
+     *        k + t*m check bits within 2^m - 1.
+     */
+    BchCodec(unsigned data_bits, unsigned correct_bits,
+             unsigned field_degree = 0);
+
+    unsigned k() const { return dataBits; }
+    unsigned t() const { return correctBits; }
+    /** Actual number of check bits, deg(g) <= t*m. */
+    unsigned r() const { return checkBits; }
+    /** Codeword length k + r. */
+    unsigned n() const { return dataBits + checkBits; }
+    const Gf2m &field() const { return gf; }
+
+    /**
+     * Systematically encode @p data (k bits) into a fresh n-bit codeword
+     * with layout [check | data].
+     */
+    BitVec encode(const BitVec &data) const;
+
+    /** Recompute and overwrite the check bits of @p codeword in place. */
+    void reencode(BitVec &codeword) const;
+
+    /**
+     * Compute the check-bit delta for a data update: because BCH is
+     * linear, f(x_new) xor f(x_old) = f(x_new xor x_old). @p data_delta
+     * is the k-bit XOR of old and new data; the result is the r-bit XOR
+     * to apply to the stored check bits. This is the operation the
+     * paper's in-NVRAM encoder performs on the bitwise sum (Fig 11/12).
+     */
+    BitVec encodeDelta(const BitVec &data_delta) const;
+
+    /**
+     * Decode @p codeword in place (n bits). Corrects up to t bit errors;
+     * reports Uncorrectable when the syndrome is inconsistent with any
+     * pattern of weight <= t.
+     */
+    BchDecodeResult decode(BitVec &codeword) const;
+
+    /** True if the codeword currently has an all-zero syndrome. */
+    bool isCodeword(const BitVec &codeword) const;
+
+    /** Extract the data bits of a codeword. */
+    BitVec extractData(const BitVec &codeword) const;
+
+    /** Generator polynomial (over GF(2)). */
+    const BinPoly &generator() const { return gen; }
+
+  private:
+    /** Syndromes S_1 .. S_2t of the received word. */
+    std::vector<GfElem> syndromes(const BitVec &codeword) const;
+
+    unsigned dataBits;
+    unsigned correctBits;
+    unsigned checkBits;
+    Gf2m gf;
+    BinPoly gen;
+    /** Generator packed low-to-high for the encode inner loop. */
+    std::vector<std::uint64_t> genWords;
+    /**
+     * Per-bit syndrome contribution tables: alphaPowTable[j][i] =
+     * alpha^((2j+1) * i) for odd syndrome index 2j+1 and bit position i,
+     * flattened; built lazily at construction for decode speed.
+     */
+    std::vector<std::vector<GfElem>> oddSynTables;
+};
+
+} // namespace nvck
+
+#endif // NVCK_ECC_BCH_HH

@@ -1,0 +1,31 @@
+#include "code_params.hh"
+
+#include <bit>
+
+namespace nvck {
+
+unsigned
+bchCheckBitsPaper(unsigned t, unsigned k_bits)
+{
+    // ceil(log2(k))
+    unsigned log2k = std::bit_width(k_bits) - (std::has_single_bit(k_bits)
+                                               ? 1 : 0);
+    return t * (log2k + 1);
+}
+
+unsigned
+bchFieldDegree(unsigned n_bits)
+{
+    unsigned m = 3;
+    while (((1u << m) - 1) < n_bits)
+        ++m;
+    return m;
+}
+
+double
+bchOverheadPaper(unsigned t, unsigned k_bits)
+{
+    return static_cast<double>(bchCheckBitsPaper(t, k_bits)) / k_bits;
+}
+
+} // namespace nvck

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared parameter structs and storage-overhead arithmetic for the ECC
+ * codes used throughout the paper: per-block BCH (bit-error correction),
+ * per-chip VLEW BCH (boot-time correction), and per-block RS(72,64)
+ * (chip-failure protection reused for runtime bit-error correction).
+ */
+
+#ifndef NVCK_ECC_CODE_PARAMS_HH
+#define NVCK_ECC_CODE_PARAMS_HH
+
+#include <cstdint>
+
+namespace nvck {
+
+/**
+ * Number of BCH check bits the paper charges for a t-bit-error-correcting
+ * code over k data bits: t * (ceil(log2(k)) + 1). (Section III-A.)
+ */
+unsigned bchCheckBitsPaper(unsigned t, unsigned k_bits);
+
+/** Smallest field degree m with 2^m - 1 >= n (codeword length). */
+unsigned bchFieldDegree(unsigned n_bits);
+
+/** Storage overhead (check bits / data bits) of the paper's BCH formula. */
+double bchOverheadPaper(unsigned t, unsigned k_bits);
+
+/** Parameters of the paper's proposed layout (Section V-A). */
+struct ProposalParams
+{
+    /** Data bytes per VLEW within one chip. */
+    unsigned vlewDataBytes = 256;
+    /** VLEW BCH correction strength. */
+    unsigned vlewT = 22;
+    /** VLEW BCH code bytes (33 B for 22-EC over 2048 data bits). */
+    unsigned vlewCodeBytes = 33;
+    /** Data chips per rank. */
+    unsigned dataChips = 8;
+    /** Parity (RS check) chips per rank. */
+    unsigned parityChips = 1;
+    /** RS data symbols per block (64 B). */
+    unsigned rsDataBytes = 64;
+    /** RS check symbols per block (8 B from the parity chip). */
+    unsigned rsCheckBytes = 8;
+    /** Runtime acceptance threshold on RS corrections (Section V-C). */
+    unsigned runtimeThreshold = 2;
+
+    /** Memory blocks spanned by one VLEW (256B / 8B per chip beat). */
+    unsigned blocksPerVlew() const { return vlewDataBytes / 8; }
+
+    /** Blocks spanned by one VLEW's code bits (~4). */
+    unsigned
+    codeBlocksPerVlew() const
+    {
+        return (vlewCodeBytes + 7) / 8;
+    }
+
+    /**
+     * Extra blocks fetched when falling back to VLEW correction for one
+     * block: the other 31 data blocks plus the ~4 code blocks (the paper
+     * quotes 32 + 4 - 1 = 35 for the naive case and 36-37 with the
+     * parity-chip copy of the block under the proposal).
+     */
+    unsigned vlewFetchOverheadBlocks() const
+    {
+        return blocksPerVlew() + codeBlocksPerVlew() - 1;
+    }
+
+    /**
+     * Total storage cost: VLEW code bits in every chip plus the parity
+     * chip: 33/256 + 1/8 * (1 + 33/256) = 27%. (Section V-A.)
+     */
+    double
+    totalStorageCost() const
+    {
+        const double vlew =
+            static_cast<double>(vlewCodeBytes) / vlewDataBytes;
+        const double parity =
+            static_cast<double>(parityChips) / dataChips * (1.0 + vlew);
+        return vlew + parity;
+    }
+};
+
+} // namespace nvck
+
+#endif // NVCK_ECC_CODE_PARAMS_HH

@@ -1,0 +1,42 @@
+#include "crc.hh"
+
+#include <array>
+
+namespace nvck {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256>
+buildTable()
+{
+    std::array<std::uint8_t, 256> table{};
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        std::uint8_t crc = static_cast<std::uint8_t>(byte);
+        for (int bit = 0; bit < 8; ++bit)
+            crc = static_cast<std::uint8_t>(
+                (crc & 0x80) ? (crc << 1) ^ 0x07 : crc << 1);
+        table[byte] = crc;
+    }
+    return table;
+}
+
+constexpr auto crcTable = buildTable();
+
+} // namespace
+
+std::uint8_t
+crc8(std::span<const std::uint8_t> bytes)
+{
+    std::uint8_t crc = 0;
+    for (std::uint8_t b : bytes)
+        crc = crcTable[crc ^ b];
+    return crc;
+}
+
+bool
+crc8Check(std::span<const std::uint8_t> bytes, std::uint8_t stored)
+{
+    return crc8(bytes) == stored;
+}
+
+} // namespace nvck

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Write-CRC transmission-error detection (paper footnote 4): DDR4-style
+ * CRC-8 (ATM HEC polynomial x^8 + x^2 + x + 1) computed over a write
+ * burst so NVRAM chips can detect I/O errors and request retransmit.
+ */
+
+#ifndef NVCK_ECC_CRC_HH
+#define NVCK_ECC_CRC_HH
+
+#include <cstdint>
+#include <span>
+
+namespace nvck {
+
+/** CRC-8 over a byte span (polynomial 0x07, init 0). */
+std::uint8_t crc8(std::span<const std::uint8_t> bytes);
+
+/** True when the stored CRC matches the payload. */
+bool crc8Check(std::span<const std::uint8_t> bytes, std::uint8_t stored);
+
+} // namespace nvck
+
+#endif // NVCK_ECC_CRC_HH

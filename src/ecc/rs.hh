@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reed-Solomon codec over GF(2^8) (or any GF(2^m)) with full
+ * errors-and-erasures decoding (Berlekamp-Massey on Forney-modified
+ * syndromes + Chien search + Forney value computation). This implements
+ * the paper's per-block RS(72,64): 64 data bytes from eight data chips
+ * plus 8 check bytes stored in the parity chip, able to correct 4 random
+ * byte errors, or 8 erasures (a dead chip), or mixes with
+ * 2*errors + erasures <= 8.
+ */
+
+#ifndef NVCK_ECC_RS_HH
+#define NVCK_ECC_RS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/bch.hh"
+#include "gf/gf2m.hh"
+#include "gf/gfpoly.hh"
+
+namespace nvck {
+
+/** Result of RsCodec::decode. */
+struct RsDecodeResult
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    /** Number of symbol corrections applied (errors + erasure fills). */
+    unsigned corrections = 0;
+    /** Of those, corrections at non-erased positions. */
+    unsigned errorCorrections = 0;
+    /** Corrected symbol positions. */
+    std::vector<std::uint32_t> positions;
+};
+
+/**
+ * Systematic shortened RS(n, k) code, narrow-sense (first consecutive
+ * root alpha^1). Symbol i of the codeword vector corresponds to the
+ * coefficient of x^i; symbols [0, r) are the check symbols and
+ * [r, r + k) are data, mirroring the BCH layout.
+ */
+class RsCodec
+{
+  public:
+    /**
+     * @param data_symbols k, number of data symbols.
+     * @param check_symbols r = n - k, number of check symbols.
+     * @param field_degree m, symbol width in bits (default one byte).
+     */
+    RsCodec(unsigned data_symbols, unsigned check_symbols,
+            unsigned field_degree = 8);
+
+    unsigned k() const { return dataSymbols; }
+    unsigned r() const { return checkSymbols; }
+    unsigned n() const { return dataSymbols + checkSymbols; }
+    const Gf2m &field() const { return gf; }
+
+    /** Design byte-error correction capability floor(r / 2). */
+    unsigned t() const { return checkSymbols / 2; }
+
+    /** Minimum Hamming distance r + 1 (MDS property). */
+    unsigned dmin() const { return checkSymbols + 1; }
+
+    /** Encode @p data (k symbols) into an n-symbol codeword. */
+    std::vector<GfElem> encode(const std::vector<GfElem> &data) const;
+
+    /** Recompute the check symbols of @p codeword in place. */
+    void reencode(std::vector<GfElem> &codeword) const;
+
+    /**
+     * Decode in place.
+     *
+     * @param codeword n received symbols, corrected on success.
+     * @param erasures positions whose symbols are known-suspect (e.g.
+     *        the beats from a failed chip). Correctable when
+     *        2 * errors + erasures <= r.
+     * @param max_errors cap on the number of non-erasure errors the
+     *        decoder will attempt (defaults to floor((r - e) / 2));
+     *        lower caps model bounded-distance decoding used by the
+     *        paper's threshold scheme.
+     */
+    RsDecodeResult decode(std::vector<GfElem> &codeword,
+                          const std::vector<std::uint32_t> &erasures = {},
+                          int max_errors = -1) const;
+
+    /** True if @p codeword has an all-zero syndrome. */
+    bool isCodeword(const std::vector<GfElem> &codeword) const;
+
+    /** Extract the data symbols. */
+    std::vector<GfElem> extractData(const std::vector<GfElem> &cw) const;
+
+  private:
+    std::vector<GfElem> syndromes(const std::vector<GfElem> &cw) const;
+
+    unsigned dataSymbols;
+    unsigned checkSymbols;
+    Gf2m gf;
+    /** Generator polynomial prod_{i=1..r} (x - alpha^i). */
+    GfPoly gen;
+};
+
+} // namespace nvck
+
+#endif // NVCK_ECC_RS_HH

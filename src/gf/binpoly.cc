@@ -1,0 +1,130 @@
+#include "binpoly.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace nvck {
+
+BinPoly::BinPoly(std::uint64_t mask)
+{
+    if (mask != 0)
+        words.push_back(mask);
+}
+
+void
+BinPoly::trim()
+{
+    while (!words.empty() && words.back() == 0)
+        words.pop_back();
+}
+
+int
+BinPoly::degree() const
+{
+    if (words.empty())
+        return -1;
+    const int top = 63 - std::countl_zero(words.back());
+    return static_cast<int>((words.size() - 1) * 64) + top;
+}
+
+bool
+BinPoly::isZero() const
+{
+    return words.empty();
+}
+
+void
+BinPoly::setBit(std::size_t i, bool value)
+{
+    const std::size_t w = i >> 6;
+    if (w >= words.size()) {
+        if (!value)
+            return;
+        words.resize(w + 1, 0);
+    }
+    const std::uint64_t mask = 1ull << (i & 63);
+    if (value)
+        words[w] |= mask;
+    else
+        words[w] &= ~mask;
+    trim();
+}
+
+BinPoly &
+BinPoly::operator^=(const BinPoly &other)
+{
+    if (other.words.size() > words.size())
+        words.resize(other.words.size(), 0);
+    for (std::size_t i = 0; i < other.words.size(); ++i)
+        words[i] ^= other.words[i];
+    trim();
+    return *this;
+}
+
+BinPoly
+BinPoly::mul(const BinPoly &a, const BinPoly &b)
+{
+    BinPoly out;
+    if (a.isZero() || b.isZero())
+        return out;
+    out.words.assign(a.words.size() + b.words.size(), 0);
+    for (std::size_t wa = 0; wa < a.words.size(); ++wa) {
+        std::uint64_t bits = a.words[wa];
+        while (bits) {
+            const int bit_idx = std::countr_zero(bits);
+            bits &= bits - 1;
+            const std::size_t shift = wa * 64 + bit_idx;
+            const std::size_t word_shift = shift >> 6;
+            const unsigned bit_shift = shift & 63;
+            for (std::size_t wb = 0; wb < b.words.size(); ++wb) {
+                out.words[wb + word_shift] ^= b.words[wb] << bit_shift;
+                if (bit_shift != 0)
+                    out.words[wb + word_shift + 1] ^=
+                        b.words[wb] >> (64 - bit_shift);
+            }
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BinPoly
+BinPoly::shift(const BinPoly &a, std::size_t k)
+{
+    if (a.isZero())
+        return a;
+    BinPoly out;
+    const std::size_t word_shift = k >> 6;
+    const unsigned bit_shift = k & 63;
+    out.words.assign(a.words.size() + word_shift + 1, 0);
+    for (std::size_t i = 0; i < a.words.size(); ++i) {
+        out.words[i + word_shift] ^= a.words[i] << bit_shift;
+        if (bit_shift != 0)
+            out.words[i + word_shift + 1] ^= a.words[i] >> (64 - bit_shift);
+    }
+    out.trim();
+    return out;
+}
+
+BinPoly
+BinPoly::mod(const BinPoly &a, const BinPoly &b)
+{
+    NVCK_ASSERT(!b.isZero(), "binary polynomial modulo zero");
+    BinPoly rem = a;
+    const int db = b.degree();
+    int dr = rem.degree();
+    while (dr >= db) {
+        rem ^= shift(b, static_cast<std::size_t>(dr - db));
+        dr = rem.degree();
+    }
+    return rem;
+}
+
+bool
+BinPoly::operator==(const BinPoly &other) const
+{
+    return words == other.words;
+}
+
+} // namespace nvck

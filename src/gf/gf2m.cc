@@ -1,0 +1,97 @@
+#include "gf2m.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+std::uint32_t
+Gf2m::defaultPoly(unsigned m_bits)
+{
+    // Primitive polynomials from Lin & Costello, Appendix A.
+    switch (m_bits) {
+      case 3:  return 0xB;      // x^3 + x + 1
+      case 4:  return 0x13;     // x^4 + x + 1
+      case 5:  return 0x25;     // x^5 + x^2 + 1
+      case 6:  return 0x43;     // x^6 + x + 1
+      case 7:  return 0x89;     // x^7 + x^3 + 1
+      case 8:  return 0x11D;    // x^8 + x^4 + x^3 + x^2 + 1
+      case 9:  return 0x211;    // x^9 + x^4 + 1
+      case 10: return 0x409;    // x^10 + x^3 + 1
+      case 11: return 0x805;    // x^11 + x^2 + 1
+      case 12: return 0x1053;   // x^12 + x^6 + x^4 + x + 1
+      case 13: return 0x201B;   // x^13 + x^4 + x^3 + x + 1
+      case 14: return 0x4443;   // x^14 + x^10 + x^6 + x + 1
+      case 15: return 0x8003;   // x^15 + x + 1
+      case 16: return 0x1100B;  // x^16 + x^12 + x^3 + x + 1
+      default:
+        NVCK_FATAL("unsupported GF(2^m) degree m=", m_bits);
+    }
+}
+
+Gf2m::Gf2m(unsigned m_bits, std::uint32_t primitive_poly)
+    : degree(m_bits),
+      fieldSize(1u << m_bits),
+      primPoly(primitive_poly ? primitive_poly : defaultPoly(m_bits))
+{
+    NVCK_ASSERT(m_bits >= 3 && m_bits <= 16, "field degree out of range");
+    expTable.resize(2 * order());
+    logTable.assign(fieldSize, 0);
+
+    std::uint32_t value = 1;
+    for (std::uint32_t i = 0; i < order(); ++i) {
+        expTable[i] = value;
+        NVCK_ASSERT(value < fieldSize, "element escaped field");
+        NVCK_ASSERT(i == 0 || (value != 1 && logTable[value] == 0),
+                    "polynomial is not primitive for this degree");
+        logTable[value] = i;
+        value <<= 1;
+        if (value & fieldSize)
+            value ^= primPoly;
+    }
+    NVCK_ASSERT(value == 1, "alpha does not generate the full group; "
+                "polynomial is not primitive");
+    // Duplicate the exp table so mul() can skip the (i+j) mod (2^m-1).
+    for (std::uint32_t i = 0; i < order(); ++i)
+        expTable[order() + i] = expTable[i];
+}
+
+GfElem
+Gf2m::inv(GfElem a) const
+{
+    NVCK_ASSERT(a != 0, "inverse of zero");
+    return expTable[order() - logTable[a]];
+}
+
+GfElem
+Gf2m::div(GfElem a, GfElem b) const
+{
+    NVCK_ASSERT(b != 0, "division by zero");
+    if (a == 0)
+        return 0;
+    return expTable[logTable[a] + order() - logTable[b]];
+}
+
+GfElem
+Gf2m::alphaPow(std::uint64_t e) const
+{
+    return expTable[e % order()];
+}
+
+GfElem
+Gf2m::pow(GfElem a, std::uint64_t e) const
+{
+    if (a == 0)
+        return e == 0 ? 1 : 0;
+    const std::uint64_t exponent =
+        (static_cast<std::uint64_t>(logTable[a]) * (e % order())) % order();
+    return expTable[exponent];
+}
+
+std::uint32_t
+Gf2m::log(GfElem a) const
+{
+    NVCK_ASSERT(a != 0, "log of zero");
+    return logTable[a];
+}
+
+} // namespace nvck

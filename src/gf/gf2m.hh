@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Arithmetic in the finite field GF(2^m), 3 <= m <= 16, implemented with
+ * log/antilog tables over a primitive element alpha. This is the shared
+ * substrate for the BCH codec (typically m = 12..14 for VLEW-scale words)
+ * and the Reed-Solomon codec (m = 8, one symbol per byte).
+ */
+
+#ifndef NVCK_GF_GF2M_HH
+#define NVCK_GF_GF2M_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace nvck {
+
+/** A field element; valid values occupy the low m bits. */
+using GfElem = std::uint32_t;
+
+/**
+ * The field GF(2^m) constructed from a default (or caller-supplied)
+ * primitive polynomial. Elements are represented in the polynomial basis;
+ * multiplication/division/inversion go through discrete-log tables.
+ */
+class Gf2m
+{
+  public:
+    /**
+     * Build the field.
+     *
+     * @param m_bits Field degree m (3..16).
+     * @param primitive_poly Primitive polynomial bit mask including the
+     *        x^m term; 0 selects a built-in default (e.g. 0x11D for m=8).
+     */
+    explicit Gf2m(unsigned m_bits, std::uint32_t primitive_poly = 0);
+
+    /** Field degree m. */
+    unsigned m() const { return degree; }
+
+    /** Field size 2^m. */
+    std::uint32_t size() const { return fieldSize; }
+
+    /** Multiplicative-group order 2^m - 1. */
+    std::uint32_t order() const { return fieldSize - 1; }
+
+    /** Addition = subtraction = XOR in characteristic 2. */
+    static GfElem add(GfElem a, GfElem b) { return a ^ b; }
+
+    /** Multiply two elements. */
+    GfElem
+    mul(GfElem a, GfElem b) const
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return expTable[logTable[a] + logTable[b]];
+    }
+
+    /** Multiplicative inverse of a nonzero element. */
+    GfElem inv(GfElem a) const;
+
+    /** Divide @p a by nonzero @p b. */
+    GfElem div(GfElem a, GfElem b) const;
+
+    /** alpha^e for any integer exponent e >= 0. */
+    GfElem alphaPow(std::uint64_t e) const;
+
+    /** a^e for any integer exponent e >= 0. */
+    GfElem pow(GfElem a, std::uint64_t e) const;
+
+    /** Discrete log base alpha of a nonzero element. */
+    std::uint32_t log(GfElem a) const;
+
+    /** The default primitive polynomial for degree @p m_bits. */
+    static std::uint32_t defaultPoly(unsigned m_bits);
+
+    /** Primitive polynomial in use (including the x^m term). */
+    std::uint32_t poly() const { return primPoly; }
+
+  private:
+    unsigned degree;
+    std::uint32_t fieldSize;
+    std::uint32_t primPoly;
+    /** expTable[i] = alpha^i for i in [0, 2*(2^m-1)) to skip a mod. */
+    std::vector<GfElem> expTable;
+    /** logTable[a] = discrete log of a (undefined for 0). */
+    std::vector<std::uint32_t> logTable;
+};
+
+} // namespace nvck
+
+#endif // NVCK_GF_GF2M_HH

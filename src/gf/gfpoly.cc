@@ -1,0 +1,138 @@
+#include "gfpoly.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace nvck {
+
+void
+GfPoly::trim()
+{
+    while (!coeffs.empty() && coeffs.back() == 0)
+        coeffs.pop_back();
+}
+
+GfPoly
+GfPoly::constant(GfElem c)
+{
+    GfPoly p;
+    if (c != 0)
+        p.coeffs.push_back(c);
+    return p;
+}
+
+GfPoly
+GfPoly::monomial(GfElem c, std::size_t k)
+{
+    GfPoly p;
+    if (c != 0) {
+        p.coeffs.assign(k + 1, 0);
+        p.coeffs[k] = c;
+    }
+    return p;
+}
+
+void
+GfPoly::setCoeff(std::size_t k, GfElem value)
+{
+    if (k >= coeffs.size()) {
+        if (value == 0)
+            return;
+        coeffs.resize(k + 1, 0);
+    }
+    coeffs[k] = value;
+    trim();
+}
+
+GfElem
+GfPoly::eval(const Gf2m &field, GfElem x) const
+{
+    GfElem acc = 0;
+    for (std::size_t i = coeffs.size(); i-- > 0;)
+        acc = Gf2m::add(field.mul(acc, x), coeffs[i]);
+    return acc;
+}
+
+GfPoly
+GfPoly::add(const GfPoly &a, const GfPoly &b)
+{
+    GfPoly out;
+    out.coeffs.resize(std::max(a.coeffs.size(), b.coeffs.size()), 0);
+    for (std::size_t i = 0; i < out.coeffs.size(); ++i)
+        out.coeffs[i] = a.coeff(i) ^ b.coeff(i);
+    out.trim();
+    return out;
+}
+
+GfPoly
+GfPoly::mul(const Gf2m &field, const GfPoly &a, const GfPoly &b)
+{
+    if (a.isZero() || b.isZero())
+        return zero();
+    GfPoly out;
+    out.coeffs.assign(a.coeffs.size() + b.coeffs.size() - 1, 0);
+    for (std::size_t i = 0; i < a.coeffs.size(); ++i) {
+        if (a.coeffs[i] == 0)
+            continue;
+        for (std::size_t j = 0; j < b.coeffs.size(); ++j)
+            out.coeffs[i + j] ^= field.mul(a.coeffs[i], b.coeffs[j]);
+    }
+    out.trim();
+    return out;
+}
+
+GfPoly
+GfPoly::scale(const Gf2m &field, const GfPoly &a, GfElem c)
+{
+    if (c == 0)
+        return zero();
+    GfPoly out = a;
+    for (auto &coefficient : out.coeffs)
+        coefficient = field.mul(coefficient, c);
+    out.trim();
+    return out;
+}
+
+GfPoly
+GfPoly::mod(const Gf2m &field, const GfPoly &a, const GfPoly &b)
+{
+    NVCK_ASSERT(!b.isZero(), "polynomial modulo zero");
+    GfPoly rem = a;
+    const GfElem lead_inv = field.inv(b.coeffs.back());
+    while (rem.degree() >= b.degree()) {
+        const std::size_t shift = rem.degree() - b.degree();
+        const GfElem factor = field.mul(rem.coeffs.back(), lead_inv);
+        for (std::size_t i = 0; i < b.coeffs.size(); ++i)
+            rem.coeffs[shift + i] ^= field.mul(factor, b.coeffs[i]);
+        rem.trim();
+    }
+    return rem;
+}
+
+GfPoly
+GfPoly::derivative(const GfPoly &a)
+{
+    GfPoly out;
+    if (a.coeffs.size() <= 1)
+        return out;
+    out.coeffs.assign(a.coeffs.size() - 1, 0);
+    // (d/dx) sum c_i x^i = sum i*c_i x^(i-1); in GF(2^m) the integer
+    // multiplier i reduces mod 2, so only odd i survive.
+    for (std::size_t i = 1; i < a.coeffs.size(); i += 2)
+        out.coeffs[i - 1] = a.coeffs[i];
+    out.trim();
+    return out;
+}
+
+GfPoly
+GfPoly::truncate(const GfPoly &a, std::size_t k)
+{
+    GfPoly out = a;
+    if (out.coeffs.size() > k)
+        out.coeffs.resize(k);
+    out.trim();
+    return out;
+}
+
+} // namespace nvck

@@ -1,0 +1,50 @@
+#include "eur.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace nvck {
+
+EurModel::EurModel(unsigned banks, unsigned vlews_per_row)
+    : vlewsPerRow(vlews_per_row), dirtyMask(banks, 0)
+{
+    NVCK_ASSERT(vlews_per_row >= 1 && vlews_per_row <= 64,
+                "EUR register count per bank out of range");
+}
+
+void
+EurModel::recordWrite(unsigned bank, unsigned vlew_slot)
+{
+    NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
+    NVCK_ASSERT(vlew_slot < vlewsPerRow, "bad VLEW slot");
+    dirtyMask[bank] |= 1ull << vlew_slot;
+    ++totalDataWrites;
+}
+
+unsigned
+EurModel::drain(unsigned bank)
+{
+    NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
+    const unsigned count =
+        static_cast<unsigned>(std::popcount(dirtyMask[bank]));
+    dirtyMask[bank] = 0;
+    totalCodeWrites += count;
+    return count;
+}
+
+unsigned
+EurModel::pendingRegisters(unsigned bank) const
+{
+    NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
+    return static_cast<unsigned>(std::popcount(dirtyMask[bank]));
+}
+
+void
+EurModel::resetStats()
+{
+    totalCodeWrites = 0;
+    totalDataWrites = 0;
+}
+
+} // namespace nvck

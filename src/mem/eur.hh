@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The ECC Update Registerfile (EUR) the proposal embeds in each NVRAM
+ * chip (Section V-D, Fig 11/12). Writes to an open row record which
+ * VLEW's code bits they dirty; all updates to the same VLEW coalesce
+ * into one register and drain as a single internal read-modify-write of
+ * the code bits when the row closes. The ratio of drained code-bit
+ * writes to data writes is the paper's C factor (Fig 15).
+ */
+
+#ifndef NVCK_MEM_EUR_HH
+#define NVCK_MEM_EUR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvck {
+
+/** EUR state for one NVRAM rank (chips operate in lockstep). */
+class EurModel
+{
+  public:
+    /**
+     * @param banks Banks in the rank.
+     * @param vlews_per_row VLEWs per row per chip (row bytes per chip /
+     *        VLEW data bytes; 1KB / 256B = 4 by default).
+     */
+    EurModel(unsigned banks, unsigned vlews_per_row);
+
+    /** Record a data write hitting (bank, vlew slot within open row). */
+    void recordWrite(unsigned bank, unsigned vlew_slot);
+
+    /**
+     * The open row of @p bank is closing: drain its registers. Returns
+     * the number of coalesced VLEW code-bit writes performed.
+     */
+    unsigned drain(unsigned bank);
+
+    /** Dirty registers currently pending for @p bank. */
+    unsigned pendingRegisters(unsigned bank) const;
+
+    /** Total VLEW code-bit writes drained so far. */
+    std::uint64_t codeWrites() const { return totalCodeWrites; }
+
+    /** Total data writes recorded. */
+    std::uint64_t dataWrites() const { return totalDataWrites; }
+
+    /** C factor: code-bit writes per data write (Fig 15). */
+    double
+    cFactor() const
+    {
+        return totalDataWrites == 0
+                   ? 0.0
+                   : static_cast<double>(totalCodeWrites) /
+                         static_cast<double>(totalDataWrites);
+    }
+
+    /** Registers provisioned per bank (B * R / 256 in the paper). */
+    unsigned registersPerBank() const { return vlewsPerRow; }
+
+    void resetStats();
+
+  private:
+    unsigned vlewsPerRow;
+    /** Per-bank bitmask of dirty VLEW registers for the open row. */
+    std::vector<std::uint64_t> dirtyMask;
+    std::uint64_t totalCodeWrites = 0;
+    std::uint64_t totalDataWrites = 0;
+};
+
+} // namespace nvck
+
+#endif // NVCK_MEM_EUR_HH

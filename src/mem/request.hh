@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Memory transaction types exchanged between the cache hierarchy and
+ * the memory controller.
+ */
+
+#ifndef NVCK_MEM_REQUEST_HH
+#define NVCK_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace nvck {
+
+/** Transaction direction. */
+enum class MemOp { Read, Write };
+
+/** One block-sized memory transaction. */
+struct MemRequest
+{
+    Addr addr = 0;
+    MemOp op = MemOp::Read;
+    /** Targets the persistent-memory (NVRAM) rank. */
+    bool isPm = false;
+    /**
+     * ECC-maintenance traffic (VLEW over-fetch, OMV-miss old-data read)
+     * rather than demand traffic; tracked separately in statistics.
+     */
+    bool isOverhead = false;
+    /** Invoked at transaction completion time. */
+    std::function<void(Tick finish)> onComplete;
+};
+
+} // namespace nvck
+
+#endif // NVCK_MEM_REQUEST_HH

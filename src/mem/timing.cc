@@ -1,0 +1,43 @@
+#include "timing.hh"
+
+namespace nvck {
+
+TimingParams
+ddr4_2400()
+{
+    TimingParams p;
+    p.name = "DDR4-2400";
+    // 1200 MHz clock (2400 MT/s): tCK = 0.833ns. CL = tRCD = tRP = 16CK.
+    p.tRCD = nsToTicks(13.32);
+    p.tRP = nsToTicks(13.32);
+    p.tCAS = nsToTicks(13.32);
+    p.tCWD = nsToTicks(10.0);   // CWL = 12CK
+    p.tWR = nsToTicks(15.0);
+    p.tBurst = nsToTicks(3.33); // 8 beats on a 64-bit bus
+    p.rowIdleClose = nsToTicks(50.0);
+    p.banks = 16;
+    p.rowBytes = 8192;
+    return p;
+}
+
+TimingParams
+reramTiming()
+{
+    TimingParams p = ddr4_2400();
+    p.name = "ReRAM";
+    p.tRCD = nsToTicks(120.0);
+    p.tWR = nsToTicks(300.0);
+    return p;
+}
+
+TimingParams
+pcmTiming()
+{
+    TimingParams p = ddr4_2400();
+    p.name = "PCM";
+    p.tRCD = nsToTicks(250.0);
+    p.tWR = nsToTicks(600.0);
+    return p;
+}
+
+} // namespace nvck

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Memory device timing parameter sets. The DRAM rank uses DDR4-2400
+ * timings (the paper's Ramulator default); NVRAM ranks reuse the DRAM
+ * protocol with tRCD replaced by the technology's read latency and tWR
+ * by its write latency, exactly as the paper models dense NVRAM chips
+ * (Section VI, following Lee et al. [42]).
+ */
+
+#ifndef NVCK_MEM_TIMING_HH
+#define NVCK_MEM_TIMING_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace nvck {
+
+/** Transaction-level timing parameters for one rank. */
+struct TimingParams
+{
+    std::string name;
+
+    /** Activate-to-CAS (row open / device read latency). */
+    Tick tRCD = 0;
+    /** Precharge time. */
+    Tick tRP = 0;
+    /** CAS (column) read latency. */
+    Tick tCAS = 0;
+    /** CAS write latency. */
+    Tick tCWD = 0;
+    /** Write recovery: bank busy after the last write beat. */
+    Tick tWR = 0;
+    /** Data burst duration on the bus for one 64B block. */
+    Tick tBurst = 0;
+    /** Close an open row after this much bank idle time (row policy). */
+    Tick rowIdleClose = 0;
+
+    /** Banks per rank. */
+    unsigned banks = 16;
+    /** Row (page) size in bytes across the rank. */
+    unsigned rowBytes = 8192;
+};
+
+/** DDR4-2400 DRAM rank (Ramulator defaults, 50ns idle row close). */
+TimingParams ddr4_2400();
+
+/**
+ * ReRAM rank: 120ns read (tRCD), 300ns write (tWR), DDR4 interface
+ * otherwise (Section VI, following [89]).
+ */
+TimingParams reramTiming();
+
+/**
+ * PCM rank: 250ns read (eM-metric of [60]), 600ns write (middle of the
+ * 100-1000ns range of [60]).
+ */
+TimingParams pcmTiming();
+
+} // namespace nvck
+
+#endif // NVCK_MEM_TIMING_HH

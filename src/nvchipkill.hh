@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Umbrella header for the nvchipkill library: everything a downstream
+ * user needs to build, protect, simulate, and analyze persistent-memory
+ * systems with the MICRO'18 decoupled chipkill-correct scheme.
+ *
+ * Layered from the bottom up:
+ *  - finite-field and codec substrate (gf/, ecc/)
+ *  - analytical reliability models (reliability/)
+ *  - the bit-accurate protected rank and its extensions (chipkill/)
+ *  - the timing simulator: memory, caches, cores, workloads (mem/,
+ *    cache/, cpu/, workload/)
+ *  - system glue and the experiment runner (sim/)
+ */
+
+#ifndef NVCK_NVCHIPKILL_HH
+#define NVCK_NVCHIPKILL_HH
+
+// Substrate.
+#include "common/bitvec.hh"
+#include "common/event.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+#include "ecc/bch.hh"
+#include "ecc/code_params.hh"
+#include "ecc/crc.hh"
+#include "ecc/rs.hh"
+#include "gf/gf2m.hh"
+
+// Reliability analysis.
+#include "reliability/binomial.hh"
+#include "reliability/error_model.hh"
+#include "reliability/injector.hh"
+#include "reliability/sdc_model.hh"
+#include "reliability/storage_model.hh"
+#include "reliability/ue_model.hh"
+
+// The paper's contribution.
+#include "chipkill/degraded.hh"
+#include "chipkill/hw_model.hh"
+#include "chipkill/pm_rank.hh"
+#include "chipkill/schemes.hh"
+#include "chipkill/wear.hh"
+
+// Full-system timing simulation.
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "mem/controller.hh"
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/profiles.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace_file.hh"
+
+#endif // NVCK_NVCHIPKILL_HH

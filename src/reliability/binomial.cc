@@ -1,0 +1,90 @@
+#include "binomial.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace nvck {
+
+double
+logChoose(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        return -std::numeric_limits<double>::infinity();
+    if (k == 0 || k == n)
+        return 0.0;
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(k) + 1.0) -
+           std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double
+choose(std::uint64_t n, std::uint64_t k)
+{
+    return std::exp(logChoose(n, k));
+}
+
+double
+logBinomialPmf(std::uint64_t n, std::uint64_t k, double p)
+{
+    NVCK_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    if (k > n)
+        return -std::numeric_limits<double>::infinity();
+    if (p == 0.0)
+        return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+    if (p == 1.0)
+        return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+    return logChoose(n, k) + static_cast<double>(k) * std::log(p) +
+           static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double
+binomialPmf(std::uint64_t n, std::uint64_t k, double p)
+{
+    return std::exp(logBinomialPmf(n, k, p));
+}
+
+double
+binomialTail(std::uint64_t n, std::uint64_t k, double p)
+{
+    if (k == 0)
+        return 1.0;
+    if (k > n || p == 0.0)
+        return 0.0;
+    // Sum PMF terms from k upward. In the far tail (k >> np) successive
+    // terms shrink by roughly (n-k)p/k, so truncate once negligible.
+    double total = 0.0;
+    double last = 0.0;
+    for (std::uint64_t i = k; i <= n; ++i) {
+        const double term = binomialPmf(n, i, p);
+        total += term;
+        if (term < 1e-30 && term < 1e-12 * total && term <= last)
+            break;
+        last = term;
+    }
+    return total > 1.0 ? 1.0 : total;
+}
+
+double
+symbolErrorProb(double rber, unsigned bits_per_symbol)
+{
+    NVCK_ASSERT(rber >= 0.0 && rber <= 1.0, "RBER out of range");
+    // 1 - (1-p)^b = -expm1(b * log1p(-p))
+    return -std::expm1(static_cast<double>(bits_per_symbol) *
+                       std::log1p(-rber));
+}
+
+unsigned
+requiredCorrection(std::uint64_t n_symbols, double symbol_err,
+                   double target)
+{
+    for (unsigned t = 0; t <= n_symbols; ++t) {
+        if (binomialTail(n_symbols, t + 1, symbol_err) <= target)
+            return t;
+    }
+    NVCK_FATAL("no correction strength meets target ", target,
+               " for n=", n_symbols, " p=", symbol_err);
+}
+
+} // namespace nvck

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Log-space binomial probability machinery. The paper's reliability
+ * targets (1e-15 UE, 1e-17 SDC) are far below what double-precision
+ * naive products can resolve, so everything is computed via log-gamma.
+ */
+
+#ifndef NVCK_RELIABILITY_BINOMIAL_HH
+#define NVCK_RELIABILITY_BINOMIAL_HH
+
+#include <cstdint>
+
+namespace nvck {
+
+/** Natural log of the binomial coefficient C(n, k). */
+double logChoose(std::uint64_t n, std::uint64_t k);
+
+/** Binomial coefficient as a double (may overflow to inf for huge n). */
+double choose(std::uint64_t n, std::uint64_t k);
+
+/** Natural log of the PMF: P[X = k], X ~ Binomial(n, p). */
+double logBinomialPmf(std::uint64_t n, std::uint64_t k, double p);
+
+/** P[X = k] for X ~ Binomial(n, p). */
+double binomialPmf(std::uint64_t n, std::uint64_t k, double p);
+
+/**
+ * Upper tail P[X >= k]. Exact summation of the PMF terms (they decay
+ * geometrically past the mean, so the sum converges in a few dozen
+ * terms for the regimes used here).
+ */
+double binomialTail(std::uint64_t n, std::uint64_t k, double p);
+
+/**
+ * Probability that a symbol of @p bits_per_symbol independent bits with
+ * raw bit error rate @p rber contains at least one wrong bit:
+ * 1 - (1-rber)^bits, evaluated stably for tiny rber.
+ */
+double symbolErrorProb(double rber, unsigned bits_per_symbol);
+
+/**
+ * Smallest t such that P[X >= t+1] <= target for X ~ Binomial(n, p):
+ * the correction strength needed for an ECC word of n symbols with
+ * per-symbol error probability p to meet an uncorrectable-error target.
+ */
+unsigned requiredCorrection(std::uint64_t n_symbols, double symbol_err,
+                            double target);
+
+} // namespace nvck
+
+#endif // NVCK_RELIABILITY_BINOMIAL_HH

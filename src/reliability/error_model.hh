@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Raw-bit-error-rate (RBER) models per memory technology as a function
+ * of time since last write/refresh, anchored to the measurements the
+ * paper's Figure 1 surveys (multi-level PCM resistance drift, ReRAM
+ * retention, Flash retention, DRAM cell faults). Between anchors the
+ * model interpolates linearly in log(time)-log(RBER) space.
+ */
+
+#ifndef NVCK_RELIABILITY_ERROR_MODEL_HH
+#define NVCK_RELIABILITY_ERROR_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace nvck {
+
+/** Memory technologies surveyed in Fig 1. */
+enum class MemTech
+{
+    Reram,    //!< 16Gb 27nm ReRAM retention errors [63]
+    Pcm2,     //!< 2-bit/cell PCM resistance drift [60], [61]
+    Pcm3,     //!< 3-bit/cell PCM resistance drift [60]
+    FlashMlc, //!< commercial MLC NAND [65], [66]
+    Dram,     //!< 28nm DRAM cell fault rate [29] (time-independent)
+};
+
+/** Human-readable technology name. */
+std::string memTechName(MemTech tech);
+
+/** All modelled technologies, in Fig 1's order. */
+const std::vector<MemTech> &allMemTechs();
+
+/**
+ * RBER after @p seconds_since_refresh of unrefreshed retention.
+ * Clamped to the anchored range (no extrapolation beyond one year).
+ */
+double rberAfter(MemTech tech, double seconds_since_refresh);
+
+/** The paper's design points (Sections II-B, IV-A, V-C). */
+namespace rber {
+
+/** Boot-time target: ReRAM @ 1 year / 3-bit PCM @ 1 week (1e-3). */
+constexpr double bootTarget = 1e-3;
+
+/** Runtime ReRAM RBER (~7e-5, [63]). */
+constexpr double runtimeReram = 7e-5;
+
+/** Runtime 3-bit PCM RBER with refresh once per second (7e-5, [60]). */
+constexpr double runtimePcm3Fast = 7e-5;
+
+/** Runtime 3-bit PCM RBER with refresh once per hour (2e-4, [60]). */
+constexpr double runtimePcm3Hourly = 2e-4;
+
+/** Reliability targets (Section III). */
+constexpr double ueTargetPerBlock = 1e-15;
+constexpr double sdcTargetPerBlock = 1e-17;
+
+} // namespace rber
+
+/** Seconds in useful retention units. */
+constexpr double secondsPerHour = 3600.0;
+constexpr double secondsPerDay = 86400.0;
+constexpr double secondsPerWeek = 7.0 * secondsPerDay;
+constexpr double secondsPerYear = 365.25 * secondsPerDay;
+
+} // namespace nvck
+
+#endif // NVCK_RELIABILITY_ERROR_MODEL_HH

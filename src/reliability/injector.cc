@@ -1,0 +1,120 @@
+#include "injector.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+
+namespace nvck {
+
+InjectionReport
+injectRs(const RsCodec &codec, const RsCampaign &c)
+{
+    InjectionReport report;
+    Rng rng(c.seed);
+    const unsigned n = codec.n();
+    const unsigned m = codec.field().m();
+    NVCK_ASSERT(m == 8, "RS injection assumes byte symbols");
+
+    std::vector<std::uint32_t> erasures;
+    if (c.failedChip >= 0) {
+        // Data chip f contributes symbols [r + f*beat, r + (f+1)*beat);
+        // chip index dataChips means the parity chip (symbols [0, r)).
+        const unsigned beat = c.chipBeatBytes;
+        const unsigned first =
+            codec.r() + static_cast<unsigned>(c.failedChip) * beat;
+        if (first >= codec.n()) {
+            for (std::uint32_t s = 0; s < codec.r(); ++s)
+                erasures.push_back(s);
+        } else {
+            for (std::uint32_t s = first; s < first + beat; ++s)
+                erasures.push_back(s);
+        }
+    }
+
+    std::vector<GfElem> data(codec.k());
+    for (std::uint64_t trial = 0; trial < c.trials; ++trial) {
+        for (auto &sym : data)
+            sym = static_cast<GfElem>(rng.next() & 0xFF);
+        const auto clean = codec.encode(data);
+        auto noisy = clean;
+
+        // Random bit errors across the whole codeword.
+        std::uint64_t injected_symbols = 0;
+        for (unsigned s = 0; s < n; ++s) {
+            GfElem flip = 0;
+            for (unsigned b = 0; b < 8; ++b)
+                if (rng.chance(c.rber))
+                    flip |= 1u << b;
+            if (flip) {
+                noisy[s] ^= flip;
+                ++injected_symbols;
+            }
+        }
+        // Chip failure: garble the failed chip's symbols entirely.
+        for (auto pos : erasures)
+            noisy[pos] = static_cast<GfElem>(rng.next() & 0xFF);
+
+        report.errorCount.sample(
+            static_cast<std::size_t>(injected_symbols));
+
+        const auto res = codec.decode(noisy, erasures, c.maxErrors);
+        ++report.trials;
+        switch (res.status) {
+          case DecodeStatus::Clean:
+            if (noisy == clean)
+                ++report.clean;
+            else
+                ++report.miscorrected; // errors formed another codeword
+            break;
+          case DecodeStatus::Corrected:
+            if (noisy == clean)
+                ++report.corrected;
+            else
+                ++report.miscorrected;
+            break;
+          case DecodeStatus::Uncorrectable:
+            ++report.detected;
+            break;
+        }
+    }
+    return report;
+}
+
+InjectionReport
+injectBch(const BchCodec &codec, const BchCampaign &c)
+{
+    InjectionReport report;
+    Rng rng(c.seed);
+
+    BitVec data(codec.k());
+    for (std::uint64_t trial = 0; trial < c.trials; ++trial) {
+        data.randomize(rng);
+        const BitVec clean = codec.encode(data);
+        BitVec noisy = clean;
+        const std::size_t injected = noisy.injectErrors(rng, c.rber);
+        report.errorCount.sample(injected);
+
+        const auto res = codec.decode(noisy);
+        ++report.trials;
+        switch (res.status) {
+          case DecodeStatus::Clean:
+            if (noisy == clean)
+                ++report.clean;
+            else
+                ++report.miscorrected;
+            break;
+          case DecodeStatus::Corrected:
+            if (noisy == clean)
+                ++report.corrected;
+            else
+                ++report.miscorrected;
+            break;
+          case DecodeStatus::Uncorrectable:
+            ++report.detected;
+            break;
+        }
+    }
+    return report;
+}
+
+} // namespace nvck

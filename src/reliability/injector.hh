@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Monte-Carlo fault injection on the *real* codecs. Validates the
+ * analytical models (Fig 7's error distribution, the appendix's
+ * miscorrection behaviour, erasure correction under chip failure) at
+ * RBERs where event rates are measurable in simulation.
+ */
+
+#ifndef NVCK_RELIABILITY_INJECTOR_HH
+#define NVCK_RELIABILITY_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "ecc/bch.hh"
+#include "ecc/rs.hh"
+
+namespace nvck {
+
+/** Aggregated outcomes of an injection campaign. */
+struct InjectionReport
+{
+    std::uint64_t trials = 0;
+    std::uint64_t clean = 0;          //!< zero syndrome
+    std::uint64_t corrected = 0;      //!< fixed, matches ground truth
+    std::uint64_t detected = 0;       //!< reported uncorrectable
+    std::uint64_t miscorrected = 0;   //!< silent data corruption
+    std::uint64_t rejectedByCap = 0;  //!< exceeded the max_errors cap
+    Histogram errorCount{32};         //!< injected symbol/bit errors
+
+    double rate(std::uint64_t n) const
+    {
+        return trials ? static_cast<double>(n) / trials : 0.0;
+    }
+};
+
+/** Campaign settings for the per-block RS code. */
+struct RsCampaign
+{
+    double rber = 2e-4;      //!< per-bit error probability
+    std::uint64_t trials = 10000;
+    int maxErrors = -1;      //!< decode cap (-1 = full capability)
+    int failedChip = -1;     //!< >= 0: garble that chip's symbols and
+                             //!< pass them as erasures
+    unsigned chipBeatBytes = 8;
+    std::uint64_t seed = 1;
+};
+
+/** Run RS injection against a codec. */
+InjectionReport injectRs(const RsCodec &codec, const RsCampaign &c);
+
+/** Campaign settings for a BCH codec (e.g. the VLEW). */
+struct BchCampaign
+{
+    double rber = 1e-3;
+    std::uint64_t trials = 1000;
+    std::uint64_t seed = 1;
+};
+
+/** Run BCH injection against a codec. */
+InjectionReport injectBch(const BchCodec &codec, const BchCampaign &c);
+
+} // namespace nvck
+
+#endif // NVCK_RELIABILITY_INJECTOR_HH

@@ -1,0 +1,106 @@
+#include "experiment.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+RunMetrics
+runOnce(const SystemConfig &config, const RunControl &rc)
+{
+    System sys(config);
+    sys.start();
+    sys.runUntil(rc.warmup);
+    sys.resetStats();
+
+    // Measure, sampling cache occupancy along the way.
+    const Tick end = rc.warmup + rc.measure;
+    double dirty_sum = 0.0, omv_sum = 0.0;
+    unsigned samples = 0;
+    std::vector<std::uint64_t> insts_start(sys.coreCount());
+    for (unsigned c = 0; c < sys.coreCount(); ++c)
+        insts_start[c] = sys.core(c).instructions();
+
+    for (Tick t = rc.warmup + rc.samplePeriod; t <= end;
+         t += rc.samplePeriod) {
+        sys.runUntil(t);
+        dirty_sum += sys.caches().dirtyPmFraction();
+        omv_sum += sys.caches().omvFraction();
+        ++samples;
+    }
+    sys.runUntil(end);
+
+    RunMetrics m;
+    m.workload = config.workload;
+    m.scheme = config.scheme.name;
+
+    std::uint64_t insts = 0;
+    for (unsigned c = 0; c < sys.coreCount(); ++c)
+        insts += sys.core(c).instructions() - insts_start[c];
+    const double seconds = ticksToNs(rc.measure) * 1e-9;
+    const double cycles =
+        seconds * config.core.freqGhz * 1e9; // per core
+    m.ipc = static_cast<double>(insts) / cycles;
+
+    const double flop_frac = sys.workload().flopFraction();
+    m.mflops = static_cast<double>(insts) * flop_frac / seconds / 1e6;
+    m.perf = sys.workload().isFlops() ? m.mflops : m.ipc;
+
+    m.cFactor = sys.memory().cFactor();
+    m.omvHitRate = sys.caches().omvHitRate();
+    m.dirtyPmFraction = samples ? dirty_sum / samples : 0.0;
+    m.omvFraction = samples ? omv_sum / samples : 0.0;
+
+    const auto &ms = sys.memory().stats();
+    m.pmReads = ms.pmReads.value();
+    m.pmWrites = ms.pmWrites.value();
+    m.dramReads = ms.dramReads.value();
+    m.dramWrites = ms.dramWrites.value();
+    m.overheadReads = ms.overheadReads.value();
+    m.overheadWrites = ms.overheadWrites.value();
+    m.vlewFetches = sys.stats().vlewFetches.value();
+    m.oldDataFetches = sys.stats().oldDataFetches.value();
+    m.avgReadLatencyNs = ms.readLatency.mean();
+    m.avgWriteLatencyNs = ms.writeLatency.mean();
+    const double hits = static_cast<double>(ms.rowHits.value());
+    const double total = hits +
+                         static_cast<double>(ms.rowMisses.value()) +
+                         static_cast<double>(ms.rowConflicts.value());
+    m.rowHitRate = total > 0 ? hits / total : 0.0;
+    return m;
+}
+
+RunMetrics
+runProposal(PmTech tech, const std::string &workload, std::uint64_t seed,
+            const RunControl &rc)
+{
+    const double rber = runtimeRberFor(tech);
+
+    // Pass 1: characterize C with the proposal's machinery active but
+    // no write inflation yet (the paper measured C the same way).
+    SchemeTiming scheme = proposalScheme(rber);
+    SystemConfig char_cfg =
+        SystemConfig::make(tech, scheme, workload, seed);
+    const RunMetrics char_m = runOnce(char_cfg, rc);
+
+    // Pass 2: apply the iso-endurance write latency and measure.
+    applyCFactor(scheme, char_m.cFactor);
+    SystemConfig eval_cfg =
+        SystemConfig::make(tech, scheme, workload, seed);
+    RunMetrics m = runOnce(eval_cfg, rc);
+    m.cFactor = char_m.cFactor; // report the characterization-pass C
+    m.tech = pmTechName(tech);
+    return m;
+}
+
+RunMetrics
+runBaseline(PmTech tech, const std::string &workload, std::uint64_t seed,
+            const RunControl &rc)
+{
+    SystemConfig cfg = SystemConfig::make(tech, bitErrorOnlyScheme(),
+                                          workload, seed);
+    RunMetrics m = runOnce(cfg, rc);
+    m.tech = pmTechName(tech);
+    return m;
+}
+
+} // namespace nvck

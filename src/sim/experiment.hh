@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment runner: warm up a System, measure for a fixed window while
+ * periodically sampling cache occupancy, and report the metrics the
+ * paper's figures need. For the proposal, runs the two-pass protocol
+ * from Section VI: a characterization pass measures the workload's C
+ * factor (Fig 15), which then sets the iso-endurance write-latency
+ * inflation for the evaluation pass.
+ */
+
+#ifndef NVCK_SIM_EXPERIMENT_HH
+#define NVCK_SIM_EXPERIMENT_HH
+
+#include <string>
+
+#include "sim/system.hh"
+
+namespace nvck {
+
+/** Run-control parameters. */
+struct RunControl
+{
+    Tick warmup = nsToTicks(150000);   //!< 150us functional warmup
+    Tick measure = nsToTicks(400000);  //!< 400us measured window
+    Tick samplePeriod = nsToTicks(5000);
+};
+
+/** Metrics from one measured run. */
+struct RunMetrics
+{
+    std::string workload;
+    std::string scheme;
+    std::string tech;
+
+    double ipc = 0.0;     //!< aggregate IPC across cores
+    double mflops = 0.0;  //!< for SPLASH-style workloads
+    /** The figure metric: IPC for WHISPER, FLOPS for SPLASH. */
+    double perf = 0.0;
+
+    double cFactor = 0.0;        //!< Fig 15
+    double omvHitRate = 1.0;     //!< Fig 18
+    double dirtyPmFraction = 0.0; //!< Fig 10 (time-averaged)
+    double omvFraction = 0.0;    //!< OMV capacity overhead
+
+    // Off-chip access breakdown (Fig 14).
+    std::uint64_t pmReads = 0, pmWrites = 0;
+    std::uint64_t dramReads = 0, dramWrites = 0;
+    std::uint64_t overheadReads = 0, overheadWrites = 0;
+
+    std::uint64_t vlewFetches = 0;
+    std::uint64_t oldDataFetches = 0;
+    double avgReadLatencyNs = 0.0;
+    double avgWriteLatencyNs = 0.0;
+    double rowHitRate = 0.0;
+};
+
+/** Run one configured system to completion of the measure window. */
+RunMetrics runOnce(const SystemConfig &config,
+                   const RunControl &rc = RunControl{});
+
+/**
+ * Full proposal evaluation for one workload/technology: pass 1
+ * characterizes C with the proposal's machinery on (but no write
+ * inflation); pass 2 applies 1 + 33/8*C (+20ns) and measures.
+ */
+RunMetrics runProposal(PmTech tech, const std::string &workload,
+                       std::uint64_t seed = 1,
+                       const RunControl &rc = RunControl{});
+
+/** Baseline (bit-error-only) run for the same workload/technology. */
+RunMetrics runBaseline(PmTech tech, const std::string &workload,
+                       std::uint64_t seed = 1,
+                       const RunControl &rc = RunControl{});
+
+} // namespace nvck
+
+#endif // NVCK_SIM_EXPERIMENT_HH

@@ -1,0 +1,253 @@
+#include "system.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+namespace {
+
+/** Retry backoff when a controller queue is full. */
+constexpr Tick retryDelay = nsToTicks(20);
+
+/** LLC hit latency in core cycles (Table I). */
+constexpr Cycle llcHitCycles = 14;
+
+} // namespace
+
+System::System(const SystemConfig &config)
+    : System(config, [&config]() -> std::unique_ptr<Workload> {
+          QueryProfile prof = findProfile(config.workload);
+          if (config.gapOverride != 0)
+              prof.gapMean = config.gapOverride;
+          return std::make_unique<SyntheticWorkload>(
+              prof, config.space, config.cores, config.seed);
+      }())
+{
+}
+
+System::System(const SystemConfig &config,
+               std::unique_ptr<Workload> external_workload)
+    : cfg(config),
+      mem(eq, cfg.mem),
+      hierarchy(cfg.cache, *this),
+      bench(std::move(external_workload)),
+      rng(cfg.seed * 31 + 7),
+      persistsInFlight(cfg.cores, 0),
+      drainWaiters(cfg.cores)
+{
+    NVCK_ASSERT(bench != nullptr, "system needs a workload");
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        cores.push_back(
+            std::make_unique<Core>(c, eq, *this, *bench, cfg.core));
+}
+
+void
+System::start()
+{
+    for (auto &core : cores)
+        core->start();
+}
+
+void
+System::issueAt(Tick when, MemRequest req,
+                std::function<void(Tick)> on_accept)
+{
+    if (when > eq.now()) {
+        eq.schedule(when, [this, req, on_accept] {
+            issueAt(eq.now(), req, on_accept);
+        });
+        return;
+    }
+    if (!mem.enqueue(req)) {
+        eq.scheduleAfter(retryDelay, [this, req, on_accept] {
+            issueAt(eq.now(), req, on_accept);
+        });
+        return;
+    }
+    if (on_accept)
+        on_accept(eq.now());
+}
+
+void
+System::launchVlewFetch(Addr addr, Tick when,
+                        std::function<void(Tick)> on_complete)
+{
+    const unsigned blocks = cfg.scheme.vlewFetchBlocks;
+    // Align to the VLEW's 32-block span so the over-fetch enjoys the
+    // row-buffer locality the layout gives it (Fig 6).
+    const unsigned blocks_per_vlew =
+        cfg.mem.vlewDataBytes / chipBeatBytes;
+    const Addr base = addr / (blocks_per_vlew * blockBytes) *
+                      (blocks_per_vlew * blockBytes);
+
+    auto remaining = std::make_shared<unsigned>(blocks);
+    const Tick decode_lat = cfg.scheme.vlewDecodeLatency;
+    for (unsigned b = 0; b < blocks; ++b) {
+        MemRequest rd;
+        rd.addr = base + static_cast<Addr>(b) * blockBytes;
+        rd.op = MemOp::Read;
+        rd.isPm = true;
+        rd.isOverhead = true;
+        rd.onComplete = [this, remaining, decode_lat,
+                         on_complete](Tick t) {
+            if (--*remaining == 0 && on_complete) {
+                eq.schedule(t + decode_lat, [on_complete, t,
+                                             decode_lat] {
+                    on_complete(t + decode_lat);
+                });
+            }
+        };
+        issueAt(when, rd);
+    }
+}
+
+bool
+System::access(unsigned core, Addr addr, bool is_write, bool is_pm,
+               Tick when, Cycle *latency_cycles,
+               std::function<void(Tick)> on_complete)
+{
+    const HitLevel level = hierarchy.access(core, addr, is_write, is_pm);
+    if (level == HitLevel::L1) {
+        *latency_cycles = 1;
+        return true;
+    }
+    if (level == HitLevel::LLC) {
+        *latency_cycles = llcHitCycles;
+        return true;
+    }
+
+    if (is_write) {
+        // Write-allocate: the store occupies a miss-window slot until
+        // the fill read returns, but the core does not wait for the
+        // data itself.
+        MemRequest fill;
+        fill.addr = addr;
+        fill.op = MemOp::Read;
+        fill.isPm = is_pm;
+        fill.onComplete = std::move(on_complete);
+        issueAt(when, fill);
+        return false;
+    }
+
+    // Demand load miss. Under the proposal a small fraction of PM
+    // reads carry more byte errors than the acceptance threshold and
+    // must fetch the whole VLEW (Fig 9).
+    if (is_pm && cfg.scheme.vlewFetchProb > 0.0 &&
+        rng.chance(cfg.scheme.vlewFetchProb)) {
+        sysStats.vlewFetches.inc();
+        launchVlewFetch(addr, when, std::move(on_complete));
+        return false;
+    }
+
+    MemRequest rd;
+    rd.addr = addr;
+    rd.op = MemOp::Read;
+    rd.isPm = is_pm;
+    rd.onComplete = std::move(on_complete);
+    issueAt(when, rd);
+    return false;
+}
+
+void
+System::clean(unsigned core, Addr addr, bool is_pm, Tick when)
+{
+    NVCK_ASSERT(cleaningCore == -1, "re-entrant clean");
+    cleaningCore = static_cast<int>(core);
+    cleaningWhen = when;
+    hierarchy.clean(core, addr, is_pm);
+    cleaningCore = -1;
+}
+
+void
+System::writeBlock(Addr addr, bool is_pm, bool omv_hit)
+{
+    const int pcore = cleaningCore;
+    const Tick when = pcore >= 0 ? cleaningWhen : eq.now();
+
+    MemRequest wr;
+    wr.addr = addr;
+    wr.op = MemOp::Write;
+    wr.isPm = is_pm;
+
+    // ADR-style persistence domain: a PM write is durable once the
+    // memory controller accepts it, so fences wait for acceptance (and
+    // for any old-data fetch the XOR-sum write needed), not for the
+    // slow NVRAM cell write.
+    std::function<void(Tick)> on_accept;
+    if (is_pm && pcore >= 0) {
+        sysStats.persists.inc();
+        persistIssued(static_cast<unsigned>(pcore));
+        on_accept = [this, pcore](Tick t) {
+            persistDone(static_cast<unsigned>(pcore), t);
+        };
+    }
+
+    const bool fetch_old =
+        is_pm && (cfg.scheme.fetchOldAlways ||
+                  (cfg.scheme.fetchOldOnOmvMiss && !omv_hit));
+    if (fetch_old) {
+        // The processor must read and correct the old data before it
+        // can send the XOR-sum write (Section IV-B).
+        sysStats.oldDataFetches.inc();
+        MemRequest rd;
+        rd.addr = addr;
+        rd.op = MemOp::Read;
+        rd.isPm = true;
+        rd.isOverhead = true;
+        rd.onComplete = [this, wr, on_accept](Tick t) {
+            eq.schedule(t, [this, wr, on_accept] {
+                issueAt(eq.now(), wr, on_accept);
+            });
+        };
+        issueAt(when, rd);
+        return;
+    }
+    issueAt(when, wr, on_accept);
+}
+
+bool
+System::persistsPending(unsigned core) const
+{
+    return persistsInFlight.at(core) > 0;
+}
+
+void
+System::onPersistDrain(unsigned core, std::function<void(Tick)> resume)
+{
+    NVCK_ASSERT(!drainWaiters.at(core), "double fence wait");
+    if (persistsInFlight[core] == 0) {
+        const Tick now = eq.now();
+        eq.schedule(now, [resume, now] { resume(now); });
+        return;
+    }
+    drainWaiters[core] = std::move(resume);
+}
+
+void
+System::persistIssued(unsigned core)
+{
+    ++persistsInFlight.at(core);
+}
+
+void
+System::persistDone(unsigned core, Tick when)
+{
+    NVCK_ASSERT(persistsInFlight.at(core) > 0, "persist underflow");
+    if (--persistsInFlight[core] == 0 && drainWaiters[core]) {
+        auto waiter = std::move(drainWaiters[core]);
+        drainWaiters[core] = nullptr;
+        waiter(when);
+    }
+}
+
+void
+System::resetStats()
+{
+    mem.resetStats();
+    hierarchy.resetStats();
+    sysStats = SystemStats{};
+    for (auto &core : cores)
+        core->resetStats();
+}
+
+} // namespace nvck

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The full simulated system: cores -> cache hierarchy (SAM/OMV) ->
+ * protection scheme hooks -> hybrid DRAM+NVRAM memory controller. Glues
+ * the components through the CoreContext and MemSink interfaces and
+ * injects the scheme's overhead traffic (VLEW fetches, old-data reads)
+ * with the probabilities the analytical models supply — the same
+ * methodology the paper uses in gem5 (Section VI).
+ */
+
+#ifndef NVCK_SIM_SYSTEM_HH
+#define NVCK_SIM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/event.hh"
+#include "common/rng.hh"
+#include "cpu/core.hh"
+#include "mem/controller.hh"
+#include "sim/configs.hh"
+#include "workload/synthetic.hh"
+
+namespace nvck {
+
+/** System-level statistics beyond the per-component groups. */
+struct SystemStats
+{
+    Counter vlewFetches;      //!< reads that triggered VLEW correction
+    Counter oldDataFetches;   //!< writes that fetched old data off-chip
+    Counter persists;         //!< PM writes with persist semantics
+};
+
+/** The simulated machine. */
+class System : public CoreContext, public MemSink
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    /**
+     * Build the system around an externally supplied workload (e.g. a
+     * TraceReplayWorkload carrying real application traces) instead of
+     * the named synthetic generator in @p config.
+     */
+    System(const SystemConfig &config,
+           std::unique_ptr<Workload> external_workload);
+
+    /** Start all cores. */
+    void start();
+
+    /** Advance simulation to absolute time @p until. */
+    void runUntil(Tick until) { eq.runUntil(until); }
+
+    Tick now() const { return eq.now(); }
+
+    // CoreContext interface ------------------------------------------
+    bool access(unsigned core, Addr addr, bool is_write, bool is_pm,
+                Tick when, Cycle *latency_cycles,
+                std::function<void(Tick)> on_complete) override;
+    void clean(unsigned core, Addr addr, bool is_pm, Tick when) override;
+    bool persistsPending(unsigned core) const override;
+    void onPersistDrain(unsigned core,
+                        std::function<void(Tick)> resume) override;
+
+    // MemSink interface ----------------------------------------------
+    void writeBlock(Addr addr, bool is_pm, bool omv_hit) override;
+
+    // Accessors -------------------------------------------------------
+    MemController &memory() { return mem; }
+    CacheHierarchy &caches() { return hierarchy; }
+    Core &core(unsigned i) { return *cores.at(i); }
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores.size());
+    }
+    Workload &workload() { return *bench; }
+    const SystemStats &stats() const { return sysStats; }
+    const SystemConfig &config() const { return cfg; }
+
+    void resetStats();
+
+  private:
+    /**
+     * Enqueue a controller transaction at time >= when; @p on_accept
+     * fires when the controller admits the request (ADR persistence
+     * domain: an accepted PM write is durable).
+     */
+    void issueAt(Tick when, MemRequest req,
+                 std::function<void(Tick)> on_accept = nullptr);
+    /** Launch the VLEW over-fetch for a rejected RS correction. */
+    void launchVlewFetch(Addr addr, Tick when,
+                         std::function<void(Tick)> on_complete);
+    void persistIssued(unsigned core);
+    void persistDone(unsigned core, Tick when);
+
+    SystemConfig cfg;
+    EventQueue eq;
+    MemController mem;
+    CacheHierarchy hierarchy;
+    std::unique_ptr<Workload> bench;
+    std::vector<std::unique_ptr<Core>> cores;
+    Rng rng;
+    SystemStats sysStats;
+
+    /** Core whose clean() is currently executing (persist routing). */
+    int cleaningCore = -1;
+    /** Issue time of the clean currently executing. */
+    Tick cleaningWhen = 0;
+    std::vector<unsigned> persistsInFlight;
+    std::vector<std::function<void(Tick)>> drainWaiters;
+};
+
+} // namespace nvck
+
+#endif // NVCK_SIM_SYSTEM_HH

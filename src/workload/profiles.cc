@@ -1,0 +1,303 @@
+#include "profiles.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+namespace {
+
+QueryProfile
+make(const std::string &name)
+{
+    QueryProfile p;
+    p.name = name;
+    return p;
+}
+
+std::vector<QueryProfile>
+buildWhisper()
+{
+    std::vector<QueryProfile> v;
+
+    // echo: key-value log with small items; write-dominated queries
+    // behind a network hop.
+    {
+        QueryProfile p = make("echo");
+        p.networkDelayNs = 1500;
+        p.gapMean = 2000;
+        p.mlp = 4;
+        p.dramReads = 2;
+        p.pmReads = 1;
+        p.pmReadPattern = AccessPattern::Zipf;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.6;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 1000;
+        v.push_back(p);
+    }
+    // memcached: larger volatile index, get/put mix, network-bound.
+    {
+        QueryProfile p = make("memcached");
+        p.networkDelayNs = 2000;
+        p.gapMean = 1500;
+        p.dramReads = 6;
+        p.dramWrites = 2;
+        p.pmReads = 1;
+        p.pmReadPattern = AccessPattern::Zipf;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.6;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 1200;
+        v.push_back(p);
+    }
+    // redis: like memcached with more volatile bookkeeping per query.
+    {
+        QueryProfile p = make("redis");
+        p.networkDelayNs = 2000;
+        p.gapMean = 1600;
+        p.dramReads = 8;
+        p.dramWrites = 2;
+        p.pmReads = 1;
+        p.pmReadPattern = AccessPattern::Zipf;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.6;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 1100;
+        v.push_back(p);
+    }
+    // ctree/btree/rbtree: write-only queries over pointer-chased trees
+    // living in persistent memory (Section VII: reads from few banks at
+    // a time, hence the low sensitivity to write latency).
+    {
+        QueryProfile p = make("ctree");
+        p.gapMean = 10000;
+        p.mlp = 1;
+        p.pmReads = 12;
+        p.pmReadPattern = AccessPattern::Chase;
+        p.pmWrites = 2;
+        p.writeRowLocality = 0.85;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 500;
+        v.push_back(p);
+    }
+    {
+        QueryProfile p = make("btree");
+        p.gapMean = 11000;
+        p.mlp = 1;
+        p.pmReads = 10;
+        p.pmReadPattern = AccessPattern::Chase;
+        p.pmWrites = 2;
+        p.writeRowLocality = 0.85;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 500;
+        v.push_back(p);
+    }
+    {
+        QueryProfile p = make("rbtree");
+        p.gapMean = 9500;
+        p.mlp = 1;
+        p.pmReads = 14;
+        p.pmReadPattern = AccessPattern::Chase;
+        p.pmWrites = 3;
+        p.writeRowLocality = 0.8;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 600;
+        v.push_back(p);
+    }
+    // hashmap: write-only queries, uniform hashing (no spatial
+    // locality), no network hop; the paper's worst case for the
+    // proposal's write-latency inflation.
+    {
+        QueryProfile p = make("hashmap");
+        p.gapMean = 3300;
+        p.mlp = 8;
+        p.pmReads = 1;
+        p.pmReadPattern = AccessPattern::Uniform;
+        p.pmWrites = 2;
+        p.writeRowLocality = 0.55;
+        p.hotWrites = 2;
+        p.cleanLagBlocks = 1800;
+        v.push_back(p);
+    }
+    // tpcc: multi-record transactions over a mix of volatile index and
+    // persistent tables.
+    {
+        QueryProfile p = make("tpcc");
+        p.gapMean = 2800;
+        p.mlp = 6;
+        p.dramReads = 10;
+        p.dramWrites = 4;
+        p.pmReads = 4;
+        p.pmReadPattern = AccessPattern::Zipf;
+        p.pmWrites = 3;
+        p.writeRowLocality = 0.7;
+        p.hotWrites = 2;
+        p.cleanLagBlocks = 1200;
+        v.push_back(p);
+    }
+    // vacation: STAMP-style reservation system, transactional.
+    {
+        QueryProfile p = make("vacation");
+        p.networkDelayNs = 800;
+        p.gapMean = 3000;
+        p.mlp = 4;
+        p.dramReads = 6;
+        p.dramWrites = 2;
+        p.pmReads = 6;
+        p.pmReadPattern = AccessPattern::Uniform;
+        p.pmWrites = 2;
+        p.writeRowLocality = 0.6;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 900;
+        v.push_back(p);
+    }
+    // ycsb: read-mostly key-value point queries with skew.
+    {
+        QueryProfile p = make("ycsb");
+        p.gapMean = 3000;
+        p.dramReads = 2;
+        p.pmReads = 4;
+        p.pmReadPattern = AccessPattern::Zipf;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.7;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 1000;
+        v.push_back(p);
+    }
+    return v;
+}
+
+std::vector<QueryProfile>
+buildSplash()
+{
+    std::vector<QueryProfile> v;
+    auto scientific = [](const std::string &name) {
+        QueryProfile p;
+        p.name = name;
+        p.flops = true;
+        p.flopFraction = 0.5;
+        p.mlp = 8;
+        p.atlasLogging = true; // ATLAS puts the heap in PM
+        return p;
+    };
+    // barnes: octree body walk (pointer chasing, tiny write ratio:
+    // 0.5% dirty-PM occupancy in Fig 10).
+    {
+        QueryProfile p = scientific("barnes");
+        p.gapMean = 8000;
+        p.mlp = 2;
+        p.pmReads = 6;
+        p.pmReadPattern = AccessPattern::Chase;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.85;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 60;
+        p.dramReads = 2;
+        v.push_back(p);
+    }
+    // fmm: adaptive fast multipole, tree walk plus dense math.
+    {
+        QueryProfile p = scientific("fmm");
+        p.gapMean = 6000;
+        p.mlp = 2;
+        p.pmReads = 5;
+        p.pmReadPattern = AccessPattern::Chase;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.85;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 80;
+        p.dramReads = 2;
+        v.push_back(p);
+    }
+    // ocean: structured-grid streaming sweeps.
+    {
+        QueryProfile p = scientific("ocean");
+        p.gapMean = 2500;
+        p.pmReads = 8;
+        p.pmReadPattern = AccessPattern::Sequential;
+        p.pmWrites = 2;
+        p.writeRowLocality = 0.95;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 400;
+        v.push_back(p);
+    }
+    // radix: counting sort passes, streaming reads + scattered writes.
+    {
+        QueryProfile p = scientific("radix");
+        p.gapMean = 3000;
+        p.pmReads = 6;
+        p.pmReadPattern = AccessPattern::Sequential;
+        p.pmWrites = 3;
+        p.writeRowLocality = 0.9;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 500;
+        v.push_back(p);
+    }
+    // raytrace: read-dominated scene traversal with skewed reuse.
+    {
+        QueryProfile p = scientific("raytrace");
+        p.gapMean = 3000;
+        p.pmReads = 8;
+        p.pmReadPattern = AccessPattern::Zipf;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.8;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 150;
+        p.dramReads = 2;
+        v.push_back(p);
+    }
+    // water-nsquared: particle pairs, modest memory intensity.
+    {
+        QueryProfile p = scientific("water");
+        p.gapMean = 4000;
+        p.pmReads = 5;
+        p.pmReadPattern = AccessPattern::Uniform;
+        p.pmWrites = 1;
+        p.writeRowLocality = 0.85;
+        p.hotWrites = 1;
+        p.cleanLagBlocks = 100;
+        v.push_back(p);
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<QueryProfile> &
+whisperProfiles()
+{
+    static const std::vector<QueryProfile> profiles = buildWhisper();
+    return profiles;
+}
+
+const std::vector<QueryProfile> &
+splashProfiles()
+{
+    static const std::vector<QueryProfile> profiles = buildSplash();
+    return profiles;
+}
+
+const QueryProfile &
+findProfile(const std::string &name)
+{
+    for (const auto &p : whisperProfiles())
+        if (p.name == name)
+            return p;
+    for (const auto &p : splashProfiles())
+        if (p.name == name)
+            return p;
+    NVCK_FATAL("unknown benchmark: ", name);
+}
+
+std::vector<std::string>
+allBenchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : whisperProfiles())
+        names.push_back(p.name);
+    for (const auto &p : splashProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace nvck

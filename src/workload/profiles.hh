@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-benchmark query profiles for the synthetic workload generators.
+ * Each profile describes one benchmark's memory-access signature —
+ * query structure, persistent/volatile mix, access patterns, spatial
+ * locality, compute density, off-CPU (network) time — calibrated to the
+ * characterization the paper publishes: Fig 14 (off-chip access
+ * breakdown), Fig 10 (dirty-PM cache occupancy), Fig 15 (C factor),
+ * and the behavioural descriptions in Section VII (write-only queries
+ * for hashmap/ctree/btree/rbtree, pointer-chasing trees, network-bound
+ * KV stores).
+ */
+
+#ifndef NVCK_WORKLOAD_PROFILES_HH
+#define NVCK_WORKLOAD_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+namespace nvck {
+
+/** Address-generation pattern for persistent-memory reads. */
+enum class AccessPattern
+{
+    Uniform,    //!< uniform random over the data region
+    Zipf,       //!< hot-set skewed (two-region approximation)
+    Chase,      //!< dependent pointer chase (serialising, MLP = 1)
+    Sequential, //!< streaming with a per-core cursor
+};
+
+/** Memory-access signature of one benchmark's query/iteration. */
+struct QueryProfile
+{
+    std::string name;
+    bool flops = false;       //!< SPLASH-style (FLOPS metric)
+    double flopFraction = 0.0;
+    unsigned mlp = 8;         //!< load window the core may keep open
+    double networkDelayNs = 0; //!< off-CPU time per query
+    unsigned gapMean = 25;    //!< non-memory instructions between ops
+
+    unsigned dramReads = 0;
+    unsigned dramWrites = 0;
+    unsigned pmReads = 0;
+    AccessPattern pmReadPattern = AccessPattern::Uniform;
+    unsigned pmWrites = 0;
+    /**
+     * Stores per query to hot per-core metadata blocks (root pointers,
+     * allocator state, statistics). Each is undo-logged like any PM
+     * store, but the blocks themselves stay cached and are rewritten in
+     * place, so their off-chip traffic is almost entirely log appends —
+     * the dominant component of real ATLAS/WHISPER PM write traffic.
+     */
+    unsigned hotWrites = 2;
+    /** P(consecutive data writes land in the same row). */
+    double writeRowLocality = 0.0;
+    /** ATLAS-style undo logging: log store + clwb + fence per write. */
+    bool atlasLogging = true;
+    /** clwb the written data block (persistent data structures do). */
+    bool cleanData = true;
+    /**
+     * Dirty data blocks are cleaned lazily, this many blocks behind the
+     * write front (ATLAS flushes data asynchronously; only the log is
+     * forced at transaction boundaries). Controls the dirty-PM cache
+     * occupancy of Fig 10.
+     */
+    unsigned cleanLagBlocks = 256;
+};
+
+/** The ten WHISPER-like benchmarks evaluated in the paper. */
+const std::vector<QueryProfile> &whisperProfiles();
+
+/** The SPLASH3-like kernels run under the ATLAS wrapper. */
+const std::vector<QueryProfile> &splashProfiles();
+
+/** Lookup by name across both families; fatal on unknown name. */
+const QueryProfile &findProfile(const std::string &name);
+
+/** All benchmark names, WHISPER first (figure order). */
+std::vector<std::string> allBenchmarkNames();
+
+} // namespace nvck
+
+#endif // NVCK_WORKLOAD_PROFILES_HH

@@ -1,0 +1,211 @@
+#include "synthetic.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+namespace {
+
+/** Per-core undo-log region size. */
+constexpr std::uint64_t logRegionBytes = 16ull << 20;
+
+/** Hot-set parameters for the Zipf approximation. */
+constexpr double zipfHotFraction = 0.01; //!< of the data region
+constexpr double zipfHotProb = 0.8;      //!< of accesses hit the hot set
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(const QueryProfile &profile,
+                                     const AddressSpace &addr_space,
+                                     unsigned cores, std::uint64_t seed)
+    : prof(profile), space(addr_space), perCore(cores)
+{
+    NVCK_ASSERT(cores >= 1, "need at least one core");
+    // Reserve the log regions plus one extra MB of bank-stagger slack.
+    const std::uint64_t log_total =
+        logRegionBytes * cores + (1ull << 20);
+    NVCK_ASSERT(space.pmBytes > 2 * log_total,
+                "PM region too small for per-core logs");
+    dataBytes = space.pmBytes - log_total;
+    for (unsigned c = 0; c < cores; ++c) {
+        CoreState &cs = perCore[c];
+        cs.rng = Rng(seed * 7919 + c * 104729 + 1);
+        // Stagger log regions by a few rows so per-core logs start in
+        // different banks (they would otherwise all map to bank 0 and
+        // serialise every log append on one bank).
+        cs.logBase = space.pmBase + dataBytes + c * logRegionBytes +
+                     static_cast<Addr>(c) * 5 * 8192;
+        cs.logBytes = logRegionBytes;
+        cs.logCursor = cs.logBase;
+        // Spread streaming cursors so cores do not collide.
+        cs.seqCursor =
+            space.pmBase + (dataBytes / cores) * c;
+        // A handful of hot metadata blocks per core, placed in its
+        // slice of the data region.
+        for (unsigned h = 0; h < 8; ++h)
+            cs.hotBlocks.push_back(space.pmBase +
+                                   (dataBytes / cores) * c +
+                                   (h + 1) * blockBytes);
+    }
+}
+
+unsigned
+SyntheticWorkload::gap(CoreState &cs) const
+{
+    // Uniform in [gapMean/2, 3*gapMean/2): mean gapMean, cheap to draw.
+    if (prof.gapMean == 0)
+        return 0;
+    const unsigned half = prof.gapMean / 2;
+    return half + static_cast<unsigned>(
+                      cs.rng.below(prof.gapMean + 1));
+}
+
+Addr
+SyntheticWorkload::dramBlock(CoreState &cs)
+{
+    const std::uint64_t blocks = space.dramBytes / blockBytes;
+    return space.dramBase + cs.rng.below(blocks) * blockBytes;
+}
+
+Addr
+SyntheticWorkload::pmDataBlock(CoreState &cs, AccessPattern pattern)
+{
+    const std::uint64_t blocks = dataBytes / blockBytes;
+    switch (pattern) {
+      case AccessPattern::Uniform:
+      case AccessPattern::Chase:
+        // A pointer chase visits effectively random nodes; the
+        // serialisation comes from the dependence (MLP = 1), not the
+        // address sequence.
+        return space.pmBase + cs.rng.below(blocks) * blockBytes;
+      case AccessPattern::Zipf: {
+        const std::uint64_t hot_blocks = static_cast<std::uint64_t>(
+            static_cast<double>(blocks) * zipfHotFraction) + 1;
+        if (cs.rng.uniform() < zipfHotProb)
+            return space.pmBase + cs.rng.below(hot_blocks) * blockBytes;
+        return space.pmBase + cs.rng.below(blocks) * blockBytes;
+      }
+      case AccessPattern::Sequential: {
+        const Addr out = cs.seqCursor;
+        cs.seqCursor += blockBytes;
+        if (cs.seqCursor >= space.pmBase + dataBytes)
+            cs.seqCursor = space.pmBase;
+        return out;
+      }
+    }
+    NVCK_PANIC("unknown access pattern");
+}
+
+void
+SyntheticWorkload::emitQuery(CoreState &cs)
+{
+    auto push = [&cs](TraceOp::Kind kind, Addr addr, bool is_pm,
+                      unsigned gap_instr, double idle_ns = 0.0) {
+        TraceOp op;
+        op.kind = kind;
+        op.addr = addr;
+        op.isPm = is_pm;
+        op.gap = gap_instr;
+        op.idleNs = idle_ns;
+        cs.queue.push_back(op);
+    };
+
+    // 1. Network / off-CPU wait for request arrival.
+    if (prof.networkDelayNs > 0)
+        push(TraceOp::Kind::Idle, 0, false, gap(cs),
+             prof.networkDelayNs);
+
+    // 2. Volatile index work.
+    for (unsigned i = 0; i < prof.dramReads; ++i)
+        push(TraceOp::Kind::Load, dramBlock(cs), false, gap(cs));
+
+    // 3. Persistent reads.
+    for (unsigned i = 0; i < prof.pmReads; ++i)
+        push(TraceOp::Kind::Load,
+             pmDataBlock(cs, prof.pmReadPattern), true, gap(cs));
+
+    // 4. Persistent updates under the ATLAS/undo-log discipline.
+    for (unsigned i = 0; i < prof.pmWrites; ++i) {
+        Addr data;
+        if (cs.hasLastWrite &&
+            cs.rng.uniform() < prof.writeRowLocality) {
+            data = cs.lastWriteBlock + blockBytes;
+        } else {
+            data = pmDataBlock(cs, AccessPattern::Uniform);
+        }
+        cs.lastWriteBlock = data;
+        cs.hasLastWrite = true;
+
+        if (prof.atlasLogging) {
+            push(TraceOp::Kind::Store, cs.logCursor, true, gap(cs));
+            push(TraceOp::Kind::Clean, cs.logCursor, true, 2);
+            push(TraceOp::Kind::Fence, 0, true, 1);
+            cs.logCursor += blockBytes;
+            if (cs.logCursor >= cs.logBase + cs.logBytes)
+                cs.logCursor = cs.logBase;
+        }
+        push(TraceOp::Kind::Store, data, true, gap(cs));
+        if (prof.cleanData) {
+            // ATLAS cleans data asynchronously: enqueue the block and
+            // emit the clean once it has aged cleanLagBlocks writes.
+            cs.pendingCleans.push_back(data);
+            while (cs.pendingCleans.size() > prof.cleanLagBlocks) {
+                const Addr victim = cs.pendingCleans.front();
+                cs.pendingCleans.pop_front();
+                push(TraceOp::Kind::Clean, victim, true, 2);
+                push(TraceOp::Kind::Fence, 0, true, 1);
+            }
+        }
+    }
+
+    // 5. Hot metadata updates (root pointers, allocator state):
+    // logged like every PM store, but the data blocks stay cached and
+    // are only cleaned occasionally.
+    ++cs.queryCount;
+    for (unsigned i = 0; i < prof.hotWrites; ++i) {
+        const Addr hot =
+            cs.hotBlocks[cs.hotCursor++ % cs.hotBlocks.size()];
+        if (prof.atlasLogging) {
+            push(TraceOp::Kind::Store, cs.logCursor, true, gap(cs));
+            push(TraceOp::Kind::Clean, cs.logCursor, true, 2);
+            push(TraceOp::Kind::Fence, 0, true, 1);
+            cs.logCursor += blockBytes;
+            if (cs.logCursor >= cs.logBase + cs.logBytes)
+                cs.logCursor = cs.logBase;
+        }
+        push(TraceOp::Kind::Store, hot, true, gap(cs));
+    }
+    if (prof.hotWrites > 0 && cs.queryCount % 64 == 0) {
+        push(TraceOp::Kind::Clean,
+             cs.hotBlocks[cs.queryCount / 64 % cs.hotBlocks.size()],
+             true, 2);
+        push(TraceOp::Kind::Fence, 0, true, 1);
+    }
+
+    // 6. Volatile writes (statistics, LRU lists, ...).
+    for (unsigned i = 0; i < prof.dramWrites; ++i)
+        push(TraceOp::Kind::Store, dramBlock(cs), false, gap(cs));
+}
+
+TraceOp
+SyntheticWorkload::next(unsigned core)
+{
+    NVCK_ASSERT(core < perCore.size(), "bad core id");
+    CoreState &cs = perCore[core];
+    if (cs.queue.empty())
+        emitQuery(cs);
+    NVCK_ASSERT(!cs.queue.empty(), "query emitted no ops");
+    TraceOp op = cs.queue.front();
+    cs.queue.pop_front();
+    return op;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const AddressSpace &space,
+             unsigned cores, std::uint64_t seed)
+{
+    return std::make_unique<SyntheticWorkload>(findProfile(name), space,
+                                               cores, seed);
+}
+
+} // namespace nvck

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The synthetic trace generator: turns a QueryProfile into an infinite
+ * per-core stream of TraceOps, reproducing each benchmark's memory
+ * signature (see profiles.hh). Persistent updates follow the
+ * ATLAS-style discipline the paper assumes: undo-log append + clwb +
+ * sfence, then the data store + clwb + sfence.
+ */
+
+#ifndef NVCK_WORKLOAD_SYNTHETIC_HH
+#define NVCK_WORKLOAD_SYNTHETIC_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/profiles.hh"
+#include "workload/workload.hh"
+
+namespace nvck {
+
+/** Profile-driven workload generator. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    SyntheticWorkload(const QueryProfile &profile,
+                      const AddressSpace &space, unsigned cores,
+                      std::uint64_t seed);
+
+    std::string name() const override { return prof.name; }
+    TraceOp next(unsigned core) override;
+    unsigned mlp() const override { return prof.mlp; }
+    bool isFlops() const override { return prof.flops; }
+    double flopFraction() const override { return prof.flopFraction; }
+
+  private:
+    struct CoreState
+    {
+        Rng rng{1};
+        std::deque<TraceOp> queue;
+        Addr logCursor = 0;
+        Addr logBase = 0;
+        std::uint64_t logBytes = 0;
+        Addr seqCursor = 0;
+        Addr lastWriteBlock = 0;
+        bool hasLastWrite = false;
+        /** Dirty data blocks awaiting their lazy clean. */
+        std::deque<Addr> pendingCleans;
+        /** Hot per-core metadata blocks, rewritten in place. */
+        std::vector<Addr> hotBlocks;
+        std::uint64_t hotCursor = 0;
+        std::uint64_t queryCount = 0;
+    };
+
+    void emitQuery(CoreState &cs);
+    Addr pmDataBlock(CoreState &cs, AccessPattern pattern);
+    Addr dramBlock(CoreState &cs);
+    unsigned gap(CoreState &cs) const;
+
+    QueryProfile prof;
+    AddressSpace space;
+    /** PM data region (log regions carved from the top of PM). */
+    std::uint64_t dataBytes;
+    std::vector<CoreState> perCore;
+};
+
+/** Construct the named benchmark (fatal on unknown name). */
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const AddressSpace &space,
+             unsigned cores, std::uint64_t seed);
+
+} // namespace nvck
+
+#endif // NVCK_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,156 @@
+#include "trace_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace nvck {
+
+namespace {
+
+constexpr std::uint32_t traceMagic = 0x4E56434Bu; // "NVCK"
+constexpr std::uint32_t traceVersion = 1;
+
+struct FileHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint32_t cores;
+    std::uint32_t reserved;
+};
+static_assert(sizeof(FileHeader) == 16, "header must be 16 bytes");
+
+struct Record
+{
+    std::uint8_t kind;
+    std::uint8_t core;
+    std::uint16_t gap;
+    std::uint32_t idleNsX16;
+    std::uint64_t addrFlags;
+};
+static_assert(sizeof(Record) == 16, "record must be 16 bytes");
+
+constexpr std::uint64_t pmFlag = 1ull << 63;
+
+Record
+encode(unsigned core, const TraceOp &op)
+{
+    Record rec{};
+    rec.kind = static_cast<std::uint8_t>(op.kind);
+    rec.core = static_cast<std::uint8_t>(core);
+    rec.gap = static_cast<std::uint16_t>(
+        op.gap > 0xFFFF ? 0xFFFF : op.gap);
+    rec.idleNsX16 = static_cast<std::uint32_t>(op.idleNs * 16.0);
+    rec.addrFlags = op.addr & ~pmFlag;
+    if (op.isPm)
+        rec.addrFlags |= pmFlag;
+    return rec;
+}
+
+TraceOp
+decode(const Record &rec)
+{
+    TraceOp op;
+    op.kind = static_cast<TraceOp::Kind>(rec.kind);
+    op.gap = rec.gap;
+    op.idleNs = static_cast<double>(rec.idleNsX16) / 16.0;
+    op.addr = rec.addrFlags & ~pmFlag;
+    op.isPm = (rec.addrFlags & pmFlag) != 0;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, unsigned cores)
+    : file(std::fopen(path.c_str(), "wb"))
+{
+    if (file == nullptr)
+        NVCK_FATAL("cannot open trace file for writing: ", path);
+    FileHeader header{traceMagic, traceVersion, cores, 0};
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        NVCK_FATAL("cannot write trace header: ", path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+void
+TraceWriter::append(unsigned core, const TraceOp &op)
+{
+    NVCK_ASSERT(core < 256, "core id exceeds trace format");
+    const Record rec = encode(core, op);
+    if (std::fwrite(&rec, sizeof(rec), 1, file) != 1)
+        NVCK_FATAL("trace write failed");
+    ++written;
+}
+
+void
+TraceWriter::capture(Workload &source, const std::string &path,
+                     unsigned cores, std::uint64_t ops_per_core)
+{
+    TraceWriter writer(path, cores);
+    for (unsigned c = 0; c < cores; ++c)
+        for (std::uint64_t i = 0; i < ops_per_core; ++i)
+            writer.append(c, source.next(c));
+}
+
+TraceReplayWorkload::TraceReplayWorkload(const std::string &path,
+                                         unsigned mlp_hint)
+    : traceName("trace:" + path), mlpHint(mlp_hint)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        NVCK_FATAL("cannot open trace file: ", path);
+    FileHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file) != 1 ||
+        header.magic != traceMagic) {
+        std::fclose(file);
+        NVCK_FATAL("not a nvchipkill trace: ", path);
+    }
+    if (header.version != traceVersion) {
+        std::fclose(file);
+        NVCK_FATAL("unsupported trace version ", header.version);
+    }
+    perCore.resize(header.cores);
+    cursor.assign(header.cores, 0);
+
+    Record rec{};
+    while (std::fread(&rec, sizeof(rec), 1, file) == 1) {
+        if (rec.core >= header.cores) {
+            std::fclose(file);
+            NVCK_FATAL("trace record for core ", rec.core,
+                       " exceeds header core count");
+        }
+        perCore[rec.core].push_back(decode(rec));
+    }
+    std::fclose(file);
+    for (unsigned c = 0; c < header.cores; ++c) {
+        if (perCore[c].empty())
+            NVCK_FATAL("trace has no ops for core ", c);
+    }
+}
+
+TraceOp
+TraceReplayWorkload::next(unsigned core)
+{
+    NVCK_ASSERT(core < perCore.size(), "core out of range");
+    auto &ops = perCore[core];
+    const TraceOp op = ops[cursor[core]];
+    cursor[core] = (cursor[core] + 1) % ops.size();
+    return op;
+}
+
+std::uint64_t
+TraceReplayWorkload::totalOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ops : perCore)
+        total += ops.size();
+    return total;
+}
+
+} // namespace nvck

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace capture and replay: record any workload's per-core op stream
+ * to a compact binary file and play it back later as a Workload. This
+ * is the interface a user with *real* application traces (e.g. from a
+ * PIN/DynamoRIO tool or a gem5 run) uses to drive the simulator
+ * instead of the synthetic generators.
+ *
+ * Format: 16-byte little-endian records
+ *   [u8 kind][u8 core][u16 gap][u32 idle_ns_x16][u64 addr_and_flags]
+ * where bit 63 of the last field carries isPm. A 16-byte header holds
+ * a magic, version, and core count.
+ */
+
+#ifndef NVCK_WORKLOAD_TRACE_FILE_HH
+#define NVCK_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace nvck {
+
+/** Streams TraceOps to a file. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    TraceWriter(const std::string &path, unsigned cores);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one op for @p core. */
+    void append(unsigned core, const TraceOp &op);
+
+    /** Records written so far. */
+    std::uint64_t records() const { return written; }
+
+    /** Capture @p ops_per_core ops from @p source into @p path. */
+    static void capture(Workload &source, const std::string &path,
+                        unsigned cores, std::uint64_t ops_per_core);
+
+  private:
+    std::FILE *file;
+    std::uint64_t written = 0;
+};
+
+/**
+ * Replays a trace file as a Workload. Each core's stream loops back to
+ * its beginning when exhausted (streams must be infinite).
+ */
+class TraceReplayWorkload : public Workload
+{
+  public:
+    /**
+     * @param path trace file written by TraceWriter.
+     * @param mlp_hint load window for the core model (traces carry no
+     *        dependence information).
+     */
+    explicit TraceReplayWorkload(const std::string &path,
+                                 unsigned mlp_hint = 8);
+
+    std::string name() const override { return traceName; }
+    TraceOp next(unsigned core) override;
+    unsigned mlp() const override { return mlpHint; }
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(perCore.size());
+    }
+
+    /** Total ops loaded across all cores. */
+    std::uint64_t totalOps() const;
+
+  private:
+    std::string traceName;
+    unsigned mlpHint;
+    std::vector<std::vector<TraceOp>> perCore;
+    std::vector<std::size_t> cursor;
+};
+
+} // namespace nvck
+
+#endif // NVCK_WORKLOAD_TRACE_FILE_HH

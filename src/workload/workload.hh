@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload abstraction: a per-core stream of abstract trace operations
+ * (loads, stores, cache-line cleans, fences, idle spans) consumed by
+ * the interval core model. Concrete generators (WHISPER-like persistent
+ * memory benchmarks, SPLASH3-like scientific kernels under an
+ * ATLAS-style persistency wrapper) live in whisper.hh / splash.hh.
+ */
+
+#ifndef NVCK_WORKLOAD_WORKLOAD_HH
+#define NVCK_WORKLOAD_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvck {
+
+/** One abstract operation in a core's instruction stream. */
+struct TraceOp
+{
+    enum class Kind
+    {
+        Load,  //!< data read (addr, isPm)
+        Store, //!< data write (addr, isPm)
+        Clean, //!< clwb of a block (addr, isPm)
+        Fence, //!< sfence: wait for this core's pending persists
+        Idle,  //!< off-CPU time (network/IO wait), idleNs
+    };
+
+    Kind kind = Kind::Load;
+    Addr addr = 0;
+    bool isPm = false;
+    /** Non-memory instructions preceding this op. */
+    unsigned gap = 0;
+    /** For Kind::Idle: nanoseconds off-CPU. */
+    double idleNs = 0.0;
+};
+
+/** A workload generating one op stream per core. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as it appears in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /** Next operation for @p core. Streams are infinite. */
+    virtual TraceOp next(unsigned core) = 0;
+
+    /** Memory-level parallelism the core model may exploit. */
+    virtual unsigned mlp() const = 0;
+
+    /** SPLASH-style workloads report FLOPS instead of IPC. */
+    virtual bool isFlops() const { return false; }
+
+    /** Fraction of gap instructions that are floating-point. */
+    virtual double flopFraction() const { return 0.0; }
+};
+
+/** Shared layout of the simulated physical address space. */
+struct AddressSpace
+{
+    /** Persistent-memory region base and size. */
+    Addr pmBase = 0;
+    std::uint64_t pmBytes = 2ull << 30;
+    /** DRAM region base and size. */
+    Addr dramBase = 1ull << 40;
+    std::uint64_t dramBytes = 2ull << 30;
+};
+
+} // namespace nvck
+
+#endif // NVCK_WORKLOAD_WORKLOAD_HH

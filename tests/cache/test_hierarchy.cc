@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+namespace nvck {
+namespace {
+
+/** Records write traffic leaving the hierarchy. */
+struct RecordingSink : MemSink
+{
+    struct Write
+    {
+        Addr addr;
+        bool isPm;
+        bool omvHit;
+    };
+    std::vector<Write> writes;
+
+    void
+    writeBlock(Addr addr, bool is_pm, bool omv_hit) override
+    {
+        writes.push_back({addr, is_pm, omv_hit});
+    }
+};
+
+struct Fixture
+{
+    RecordingSink sink;
+    CacheConfig cfg;
+    CacheHierarchy caches;
+
+    explicit Fixture(bool omv_enabled = true)
+        : cfg(makeCfg(omv_enabled)), caches(cfg, sink)
+    {}
+
+    static CacheConfig
+    makeCfg(bool omv_enabled)
+    {
+        CacheConfig c;
+        c.omvEnabled = omv_enabled;
+        return c;
+    }
+};
+
+TEST(Hierarchy, ColdMissThenHits)
+{
+    Fixture f;
+    EXPECT_EQ(f.caches.access(0, 0x1000, false, true), HitLevel::Memory);
+    EXPECT_EQ(f.caches.access(0, 0x1000, false, true), HitLevel::L1);
+    // Another core misses its L1 but hits the shared LLC.
+    EXPECT_EQ(f.caches.access(1, 0x1000, false, true), HitLevel::LLC);
+}
+
+TEST(Hierarchy, CleanWritesDirtyL1LineToMemory)
+{
+    Fixture f;
+    f.caches.access(0, 0x2000, true, true); // dirty in L1
+    EXPECT_TRUE(f.caches.clean(0, 0x2000, true));
+    ASSERT_EQ(f.sink.writes.size(), 1u);
+    EXPECT_EQ(f.sink.writes[0].addr, 0x2000u);
+    EXPECT_TRUE(f.sink.writes[0].isPm);
+    // The LLC copy was filled from memory and never modified: it holds
+    // the old value, so the OMV is served from the LLC (SAM path).
+    EXPECT_TRUE(f.sink.writes[0].omvHit);
+    // Cleaning again is a nop (no dirty data anywhere).
+    EXPECT_FALSE(f.caches.clean(0, 0x2000, true));
+    EXPECT_EQ(f.caches.stats().cleanNops.value(), 1u);
+}
+
+TEST(Hierarchy, RepeatedWriteCleanCyclesHitOmv)
+{
+    // The common persistent-memory pattern: write, clwb, write, clwb...
+    // After the first clean the LLC copy equals memory again (SAM set),
+    // so every subsequent clean also finds its OMV.
+    Fixture f;
+    for (int round = 0; round < 5; ++round) {
+        f.caches.access(0, 0x3000, true, true);
+        ASSERT_TRUE(f.caches.clean(0, 0x3000, true));
+    }
+    EXPECT_EQ(f.sink.writes.size(), 5u);
+    for (const auto &w : f.sink.writes)
+        EXPECT_TRUE(w.omvHit);
+    EXPECT_DOUBLE_EQ(f.caches.omvHitRate(), 1.0);
+}
+
+TEST(Hierarchy, OmvPreservedOnDirtyWritebackToLlc)
+{
+    // Fill a PM block, dirty it in L1, then force the L1 line out by
+    // filling the same L1 set: the LLC must keep the old value as an
+    // OMV and accept the dirty data in another way.
+    Fixture f;
+    const Addr target = 0x8000;
+    f.caches.access(0, target, true, true);
+    // L1: 64KB 2-way => 512 sets, block 64B: same set stride = 32KB.
+    f.caches.access(0, target + 32 * 1024, false, false);
+    f.caches.access(0, target + 64 * 1024, false, false);
+    EXPECT_EQ(f.caches.stats().omvPreserved.value(), 1u);
+    EXPECT_GT(f.caches.omvFraction(), 0.0);
+
+    // Now cleaning via the LLC (no dirty L1 copy) must consume the OMV.
+    EXPECT_TRUE(f.caches.clean(0, target, true));
+    ASSERT_EQ(f.sink.writes.size(), 1u);
+    EXPECT_TRUE(f.sink.writes[0].omvHit);
+    EXPECT_DOUBLE_EQ(f.caches.omvFraction(), 0.0);
+}
+
+TEST(Hierarchy, OmvDisabledNeverReportsHits)
+{
+    Fixture f(false);
+    f.caches.access(0, 0x2000, true, true);
+    EXPECT_TRUE(f.caches.clean(0, 0x2000, true));
+    ASSERT_EQ(f.sink.writes.size(), 1u);
+    EXPECT_FALSE(f.sink.writes[0].omvHit);
+    EXPECT_EQ(f.caches.stats().omvPreserved.value(), 0u);
+}
+
+TEST(Hierarchy, DramBlocksSkipOmvMachinery)
+{
+    Fixture f;
+    f.caches.access(0, 0x2000, true, false);
+    EXPECT_TRUE(f.caches.clean(0, 0x2000, false));
+    ASSERT_EQ(f.sink.writes.size(), 1u);
+    EXPECT_FALSE(f.sink.writes[0].isPm);
+    EXPECT_EQ(f.caches.stats().omvHits.value() +
+                  f.caches.stats().omvMisses.value(),
+              0u);
+}
+
+TEST(Hierarchy, DirtyPmFractionTracksWrites)
+{
+    Fixture f;
+    EXPECT_DOUBLE_EQ(f.caches.dirtyPmFraction(), 0.0);
+    for (Addr a = 0; a < 100; ++a)
+        f.caches.access(0, a * blockBytes, true, true);
+    EXPECT_GT(f.caches.dirtyPmFraction(), 0.0);
+    // Cleaning them all brings the fraction back to zero.
+    for (Addr a = 0; a < 100; ++a)
+        f.caches.clean(0, a * blockBytes, true);
+    EXPECT_DOUBLE_EQ(f.caches.dirtyPmFraction(), 0.0);
+}
+
+TEST(Hierarchy, EvictionOfDirtyLlcLineWritesBack)
+{
+    // Thrash one LLC set with PM writes until evictions occur.
+    Fixture f;
+    // LLC: 4MB 32-way => 2048 sets; same-set stride = 2048 * 64B = 128KB.
+    const Addr stride = 128 * 1024;
+    for (int i = 0; i < 40; ++i) {
+        f.caches.access(0, static_cast<Addr>(i) * stride, true, true);
+        // Push it out of L1 quickly via two same-L1-set fills (32KB).
+        f.caches.access(0, static_cast<Addr>(i) * stride + 32 * 1024,
+                        false, false);
+        f.caches.access(0, static_cast<Addr>(i) * stride + 64 * 1024,
+                        false, false);
+    }
+    EXPECT_GT(f.sink.writes.size(), 0u);
+}
+
+TEST(Hierarchy, NonInclusiveOmvMissPath)
+{
+    // Dirty a PM block in L1, then destroy the LLC copy by thrashing
+    // the LLC set; the eventual clean finds no old value => OMV miss
+    // (the paper's barnes effect).
+    Fixture f;
+    const Addr target = 0x10000;
+    f.caches.access(0, target, true, true);
+    const Addr stride = 128 * 1024; // LLC set stride
+    for (int i = 1; i <= 40; ++i)
+        f.caches.access(1, target + static_cast<Addr>(i) * stride, false,
+                        false);
+    EXPECT_TRUE(f.caches.clean(0, target, true));
+    ASSERT_EQ(f.sink.writes.size(), 1u);
+    EXPECT_FALSE(f.sink.writes[0].omvHit);
+    EXPECT_LT(f.caches.omvHitRate(), 1.0);
+}
+
+TEST(Hierarchy, StatsCountHitsAndMisses)
+{
+    Fixture f;
+    f.caches.access(0, 0x0, false, false);  // memory
+    f.caches.access(0, 0x0, false, false);  // l1
+    f.caches.access(1, 0x0, false, false);  // llc
+    EXPECT_EQ(f.caches.stats().l1Hits.value(), 1u);
+    EXPECT_EQ(f.caches.stats().l1Misses.value(), 2u);
+    EXPECT_EQ(f.caches.stats().llcHits.value(), 1u);
+    EXPECT_EQ(f.caches.stats().llcMisses.value(), 1u);
+}
+
+} // namespace
+} // namespace nvck

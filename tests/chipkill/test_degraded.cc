@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "chipkill/degraded.hh"
+#include "chipkill/pm_rank.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Degraded, GeometryAfterReconfiguration)
+{
+    DegradedRank rank(256);
+    // Section V-E: each reconfigured VLEW contains 256B/64B = 4 blocks
+    // striped across the rank, so correcting one block only fetches a
+    // handful of regular blocks (vs 36 in healthy mode).
+    EXPECT_EQ(rank.blocksPerVlew(), 4u);
+    EXPECT_LE(rank.correctionFetchBlocks(), 8u);
+}
+
+TEST(Degraded, CleanRoundTrip)
+{
+    DegradedRank rank(256);
+    Rng rng(1);
+    rank.initialize(rng);
+    std::uint8_t data[blockBytes], out[blockBytes];
+    for (unsigned i = 0; i < blockBytes; ++i)
+        data[i] = static_cast<std::uint8_t>(i ^ 0x5A);
+    rank.writeBlock(9, data);
+    const auto res = rank.readBlock(9, out);
+    EXPECT_FALSE(res.usedVlew);
+    EXPECT_TRUE(res.dataCorrect);
+    EXPECT_EQ(std::memcmp(out, data, blockBytes), 0);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(Degraded, CorrectsRuntimeErrors)
+{
+    DegradedRank rank(256);
+    Rng rng(3);
+    rank.initialize(rng);
+    rank.injectErrors(rng, 2e-4);
+    std::uint8_t out[blockBytes];
+    unsigned vlew_reads = 0;
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        const auto res = rank.readBlock(b, out);
+        ASSERT_FALSE(res.failed) << "block " << b;
+        ASSERT_TRUE(res.dataCorrect) << "block " << b;
+        if (res.usedVlew)
+            ++vlew_reads;
+    }
+    EXPECT_GT(vlew_reads, 0u);
+}
+
+TEST(Degraded, SurvivesBootRberViaScrub)
+{
+    DegradedRank rank(512);
+    Rng rng(5);
+    rank.initialize(rng);
+    rank.injectErrors(rng, 1e-3);
+    EXPECT_TRUE(rank.scrub());
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(Degraded, TakeOverPreservesData)
+{
+    // Healthy rank -> chip 5 dies -> scrub rebuilds it -> reconfigure
+    // into degraded mode; every block must carry over bit-exactly.
+    PmRank healthy(128);
+    Rng rng(7);
+    healthy.initialize(rng);
+    std::uint8_t marker[blockBytes];
+    for (unsigned i = 0; i < blockBytes; ++i)
+        marker[i] = static_cast<std::uint8_t>(0xC0 + i);
+    healthy.writeBlock(77, marker);
+
+    healthy.failChip(5, rng);
+    const auto report = healthy.bootScrub();
+    ASSERT_FALSE(report.uncorrectable);
+
+    DegradedRank degraded = DegradedRank::takeOver(healthy, 5);
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < degraded.blocks(); ++b) {
+        std::uint8_t expect[blockBytes];
+        healthy.goldenBlock(b, expect);
+        const auto res = degraded.readBlock(b, out);
+        ASSERT_TRUE(res.dataCorrect);
+        ASSERT_EQ(std::memcmp(out, expect, blockBytes), 0)
+            << "block " << b;
+    }
+    EXPECT_EQ(std::memcmp(out, marker, 0), 0);
+    degraded.goldenBlock(77, out);
+    EXPECT_EQ(std::memcmp(out, marker, blockBytes), 0);
+}
+
+TEST(Degraded, WritesKeepStripedCodeConsistent)
+{
+    DegradedRank rank(256);
+    Rng rng(9);
+    rank.initialize(rng);
+    std::uint8_t data[blockBytes], out[blockBytes];
+    // Hammer all four blocks of one VLEW, then verify under errors.
+    for (int round = 0; round < 5; ++round) {
+        for (unsigned b = 4; b < 8; ++b) {
+            for (auto &byte : data)
+                byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+            rank.writeBlock(b, data);
+        }
+    }
+    rank.injectErrors(rng, 5e-4);
+    for (unsigned b = 4; b < 8; ++b) {
+        const auto res = rank.readBlock(b, out);
+        ASSERT_FALSE(res.failed);
+        ASSERT_TRUE(res.dataCorrect);
+    }
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "chipkill/pm_rank.hh"
+
+namespace nvck {
+namespace {
+
+constexpr unsigned testBlocks = 128; // 4 VLEWs per chip
+
+PmRank
+freshRank(std::uint64_t seed = 1, unsigned blocks = testBlocks)
+{
+    PmRank rank(blocks);
+    Rng rng(seed);
+    rank.initialize(rng);
+    return rank;
+}
+
+TEST(PmRank, Geometry)
+{
+    PmRank rank(testBlocks);
+    EXPECT_EQ(rank.chips(), 9u);
+    EXPECT_EQ(rank.vlewsPerChip(), testBlocks / 32);
+    EXPECT_NEAR(rank.params().totalStorageCost(), 0.27, 0.005);
+}
+
+TEST(PmRank, CleanReadsEverywhere)
+{
+    PmRank rank = freshRank();
+    std::uint8_t out[blockBytes], golden[blockBytes];
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        const auto res = rank.readBlock(b, out);
+        EXPECT_EQ(res.path, ReadPath::Clean);
+        EXPECT_TRUE(res.dataCorrect);
+        rank.goldenBlock(b, golden);
+        EXPECT_EQ(std::memcmp(out, golden, blockBytes), 0);
+    }
+}
+
+TEST(PmRank, XorWritePathKeepsEverythingConsistent)
+{
+    PmRank rank = freshRank(7);
+    Rng rng(99);
+    std::uint8_t data[blockBytes], out[blockBytes];
+    for (int i = 0; i < 50; ++i) {
+        const unsigned block =
+            static_cast<unsigned>(rng.below(rank.blocks()));
+        for (auto &byte : data)
+            byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+        rank.writeBlock(block, data);
+        const auto res = rank.readBlock(block, out);
+        ASSERT_EQ(res.path, ReadPath::Clean);
+        ASSERT_EQ(std::memcmp(out, data, blockBytes), 0);
+    }
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(PmRank, RuntimeRsCorrectsSmallErrors)
+{
+    PmRank rank = freshRank(11);
+    Rng rng(3);
+    // ~2 bit errors in block 5's RS word: flip two bits in two chips.
+    // (Direct surgical injection via a tiny RBER over the whole rank
+    // would be nondeterministic; use error injection and scan.)
+    rank.injectErrors(rng, 2e-5);
+    std::uint8_t out[blockBytes];
+    unsigned accepted = 0, clean = 0;
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        const auto res = rank.readBlock(b, out);
+        ASSERT_TRUE(res.dataCorrect) << "block " << b;
+        if (res.path == ReadPath::RsAccepted) {
+            ASSERT_LE(res.rsCorrections, 2u);
+            ++accepted;
+        } else if (res.path == ReadPath::Clean) {
+            ++clean;
+        }
+    }
+    EXPECT_GT(accepted, 0u);
+    EXPECT_GT(clean, 0u);
+}
+
+TEST(PmRank, VlewFallbackForDenseErrors)
+{
+    // At boot-level RBER many blocks carry >2 byte errors: the read
+    // path must fall back to VLEW correction and still return correct
+    // data.
+    PmRank rank = freshRank(13);
+    Rng rng(5);
+    rank.injectErrors(rng, 1e-3);
+    std::uint8_t out[blockBytes];
+    unsigned fallbacks = 0;
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        const auto res = rank.readBlock(b, out);
+        ASSERT_NE(res.path, ReadPath::Failed) << "block " << b;
+        ASSERT_TRUE(res.dataCorrect) << "block " << b;
+        if (res.path == ReadPath::VlewFallback)
+            ++fallbacks;
+    }
+    EXPECT_GT(fallbacks, 0u);
+}
+
+TEST(PmRank, BootScrubCleansBootRber)
+{
+    // The headline boot-time claim: after a week..year without
+    // refresh (RBER 1e-3), scrubbing restores every stored bit.
+    PmRank rank = freshRank(17);
+    Rng rng(7);
+    const auto injected = rank.injectErrors(rng, 1e-3);
+    ASSERT_GT(injected, 0u);
+    EXPECT_FALSE(rank.isPristine());
+
+    const auto report = rank.bootScrub();
+    EXPECT_FALSE(report.uncorrectable);
+    EXPECT_EQ(report.bitsCorrected, injected);
+    EXPECT_EQ(report.chipsRecovered, 0u);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(PmRank, BootScrubRecoversDataChipFailure)
+{
+    PmRank rank = freshRank(19);
+    Rng rng(9);
+    rank.failChip(3, rng);
+    rank.injectErrors(rng, 1e-4); // residual bit errors elsewhere
+
+    const auto report = rank.bootScrub();
+    EXPECT_FALSE(report.uncorrectable);
+    EXPECT_EQ(report.chipsRecovered, 1u);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(PmRank, BootScrubRebuildsParityChip)
+{
+    PmRank rank = freshRank(23);
+    Rng rng(11);
+    rank.failChip(8, rng); // the parity chip
+    const auto report = rank.bootScrub();
+    EXPECT_FALSE(report.uncorrectable);
+    EXPECT_TRUE(report.parityChipRebuilt);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(PmRank, DoubleChipFailureIsUncorrectable)
+{
+    PmRank rank = freshRank(29);
+    Rng rng(13);
+    rank.failChip(1, rng);
+    rank.failChip(6, rng);
+    const auto report = rank.bootScrub();
+    EXPECT_TRUE(report.uncorrectable);
+}
+
+TEST(PmRank, RuntimeChipFailureRecoveredThroughErasures)
+{
+    // Fig 9's second purpose: after VLEWs absorb the bit errors, the
+    // per-block RS budget is free to erasure-correct a dead chip.
+    PmRank rank = freshRank(31);
+    Rng rng(15);
+    rank.failChip(2, rng);
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < rank.blocks(); b += 7) {
+        const auto res = rank.readBlock(b, out);
+        ASSERT_EQ(res.path, ReadPath::ChipRecovered) << "block " << b;
+        ASSERT_TRUE(res.dataCorrect) << "block " << b;
+    }
+}
+
+TEST(PmRank, WritesLandOnDamagedCellsWithoutSpreading)
+{
+    // The XOR-sum write must preserve the pre-existing error pattern
+    // exactly (errors propagate one-to-one, Section V-D); the next
+    // read corrects them.
+    PmRank rank = freshRank(37);
+    Rng rng(17);
+    rank.injectErrors(rng, 5e-4);
+
+    Rng data_rng(18);
+    std::uint8_t data[blockBytes], out[blockBytes];
+    for (unsigned b = 0; b < rank.blocks(); b += 11) {
+        for (auto &byte : data)
+            byte = static_cast<std::uint8_t>(data_rng.next() & 0xFF);
+        rank.writeBlock(b, data);
+        const auto res = rank.readBlock(b, out);
+        ASSERT_NE(res.path, ReadPath::Failed);
+        ASSERT_EQ(std::memcmp(out, data, blockBytes), 0)
+            << "block " << b;
+    }
+    // A scrub afterwards must still restore pristine state: the writes
+    // did not corrupt or amplify anything.
+    const auto report = rank.bootScrub();
+    EXPECT_FALSE(report.uncorrectable);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(PmRank, DisabledBlockKeepsVlewConsistent)
+{
+    PmRank rank = freshRank(41);
+    rank.disableBlock(10);
+    EXPECT_TRUE(rank.isDisabled(10));
+    EXPECT_FALSE(rank.isDisabled(11));
+    // Neighbouring blocks of the same VLEW remain readable, and the
+    // rank remains fully consistent.
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < 32; ++b) {
+        if (b == 10)
+            continue;
+        const auto res = rank.readBlock(b, out);
+        EXPECT_EQ(res.path, ReadPath::Clean);
+        EXPECT_TRUE(res.dataCorrect);
+    }
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(PmRank, DisabledBlockSurvivesScrubAndErrors)
+{
+    PmRank rank = freshRank(43);
+    rank.disableBlock(33);
+    Rng rng(19);
+    rank.injectErrors(rng, 1e-3);
+    const auto report = rank.bootScrub();
+    EXPECT_FALSE(report.uncorrectable);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(PmRank, ScrubTimeMatchesPaperEstimate)
+{
+    // Section V-B: scrubbing a terabyte takes under 1.5 minutes.
+    const double tb = 1e12;
+    const double ddr4_bw = 2400e6 * 8; // 19.2 GB/s
+    const double seconds = PmRank::scrubSeconds(tb, ddr4_bw);
+    EXPECT_LT(seconds, 90.0);
+    EXPECT_GT(seconds, 30.0);
+}
+
+TEST(PmRank, ThresholdZeroForcesVlewPathForAnyError)
+{
+    PmRank rank = freshRank(47);
+    Rng rng(21);
+    rank.injectErrors(rng, 1e-4);
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        const auto res = rank.readBlock(b, out, /*threshold=*/0);
+        ASSERT_TRUE(res.dataCorrect);
+        // With threshold 0 nothing may be RS-accepted.
+        ASSERT_NE(res.path, ReadPath::RsAccepted);
+    }
+}
+
+TEST(PmRank, GoldenBlockMatchesWrittenData)
+{
+    PmRank rank = freshRank(53);
+    std::uint8_t data[blockBytes];
+    for (unsigned i = 0; i < blockBytes; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 3 + 1);
+    rank.writeBlock(5, data);
+    std::uint8_t golden[blockBytes];
+    rank.goldenBlock(5, golden);
+    EXPECT_EQ(std::memcmp(golden, data, blockBytes), 0);
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "chipkill/schemes.hh"
+#include "reliability/error_model.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Schemes, BaselineHasNoEccTraffic)
+{
+    const auto s = bitErrorOnlyScheme();
+    EXPECT_FALSE(s.omvEnabled);
+    EXPECT_FALSE(s.eurEnabled);
+    EXPECT_DOUBLE_EQ(s.vlewFetchProb, 0.0);
+    EXPECT_FALSE(s.fetchOldAlways);
+    EXPECT_FALSE(s.fetchOldOnOmvMiss);
+    EXPECT_DOUBLE_EQ(s.pmWriteScale, 1.0);
+    EXPECT_NEAR(s.storageOverhead, 0.28, 0.01);
+}
+
+TEST(Schemes, ProposalFallbackRateNearPaperValue)
+{
+    // Section V-C: ~0.018% of reads fetch VLEWs on average; our model
+    // at the 2e-4 stress point gives ~0.02%.
+    const auto s = proposalScheme(rber::runtimePcm3Hourly);
+    EXPECT_GT(s.vlewFetchProb, 1e-4);
+    EXPECT_LT(s.vlewFetchProb, 3.5e-4);
+    EXPECT_NEAR(s.storageOverhead, 0.27, 0.005);
+    EXPECT_TRUE(s.omvEnabled);
+    EXPECT_TRUE(s.eurEnabled);
+    EXPECT_TRUE(s.fetchOldOnOmvMiss);
+    EXPECT_FALSE(s.fetchOldAlways);
+}
+
+TEST(Schemes, ProposalBandwidthOverheadIsTiny)
+{
+    // 0.018-0.02% of reads x ~36 blocks ~ 0.6-0.8% read bandwidth
+    // overhead (Section V-C), versus 140%+ for the naive scheme.
+    const auto prop = proposalScheme(rber::runtimePcm3Hourly);
+    const double prop_bw = prop.vlewFetchProb * prop.vlewFetchBlocks;
+    EXPECT_LT(prop_bw, 0.01);
+
+    const auto naive = naiveVlewScheme(rber::runtimePcm3Hourly);
+    const double naive_bw =
+        naive.vlewFetchProb * naive.vlewFetchBlocks;
+    EXPECT_GT(naive_bw, 1.0); // >100% of demand reads
+    EXPECT_GT(naive_bw / prop_bw, 100.0);
+}
+
+TEST(Schemes, NaiveVlewAlwaysFetchesOld)
+{
+    const auto s = naiveVlewScheme(rber::runtimeReram);
+    EXPECT_TRUE(s.fetchOldAlways);
+    EXPECT_FALSE(s.omvEnabled);
+    // ~4% of reads contain errors at 7e-5 (Section IV-A).
+    EXPECT_NEAR(s.vlewFetchProb, 0.04, 0.006);
+}
+
+TEST(Schemes, CFactorInflation)
+{
+    auto s = proposalScheme(rber::runtimeReram);
+    applyCFactor(s, 0.0);
+    EXPECT_DOUBLE_EQ(s.pmWriteScale, 1.0);
+    applyCFactor(s, 1.0);
+    EXPECT_NEAR(s.pmWriteScale, 1.0 + 33.0 / 8.0, 1e-12);
+    applyCFactor(s, 0.25);
+    EXPECT_NEAR(s.pmWriteScale, 1.0 + 33.0 / 8.0 * 0.25, 1e-12);
+    EXPECT_EQ(s.pmWriteExtra, nsToTicks(20.0));
+}
+
+TEST(Schemes, FallbackRateGrowsWithRber)
+{
+    const auto low = proposalScheme(7e-5);
+    const auto high = proposalScheme(2e-4);
+    EXPECT_LT(low.vlewFetchProb, high.vlewFetchProb);
+}
+
+} // namespace
+} // namespace nvck

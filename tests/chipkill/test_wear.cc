@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "chipkill/wear.hh"
+
+namespace nvck {
+namespace {
+
+TEST(StartGap, MappingIsAlwaysABijection)
+{
+    StartGapMapper map(40, 3);
+    for (int w = 0; w < 500; ++w) {
+        std::set<unsigned> frames;
+        for (unsigned l = 0; l < map.logicalBlocks(); ++l) {
+            const unsigned f = map.physical(l);
+            ASSERT_LT(f, map.frames());
+            ASSERT_NE(f, map.gapFrame());
+            ASSERT_TRUE(frames.insert(f).second)
+                << "two logical blocks share frame " << f;
+        }
+        map.onWrite();
+    }
+}
+
+TEST(StartGap, MovesEveryIntervalWrites)
+{
+    StartGapMapper map(16, 5);
+    unsigned moves = 0;
+    for (int w = 0; w < 100; ++w)
+        if (map.onWrite())
+            ++moves;
+    EXPECT_EQ(moves, 20u);
+}
+
+TEST(StartGap, GapVisitsEveryFrame)
+{
+    StartGapMapper map(8, 1);
+    std::set<unsigned> visited;
+    visited.insert(map.gapFrame());
+    for (int w = 0; w < 9; ++w) {
+        map.onWrite();
+        visited.insert(map.gapFrame());
+    }
+    EXPECT_EQ(visited.size(), map.frames());
+}
+
+TEST(StartGap, MoveReportsDonorAndGap)
+{
+    StartGapMapper map(4, 1);
+    const unsigned old_gap = map.gapFrame();
+    const auto move = map.onWrite();
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->to, old_gap);
+    EXPECT_EQ(move->from, map.gapFrame());
+}
+
+TEST(WearLevel, DataSurvivesMigrations)
+{
+    WearLevelledRank rank(60, 4, 11);
+    Rng rng(12);
+    std::vector<std::array<std::uint8_t, blockBytes>> truth(
+        rank.blocks());
+    // Populate all logical blocks.
+    for (unsigned l = 0; l < rank.blocks(); ++l) {
+        for (auto &byte : truth[l])
+            byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+        rank.writeBlock(l, truth[l].data());
+    }
+    // Hammer one hot block to force many gap movements.
+    for (int w = 0; w < 300; ++w) {
+        truth[7][0] = static_cast<std::uint8_t>(w & 0xFF);
+        rank.writeBlock(7, truth[7].data());
+    }
+    EXPECT_GT(rank.migrations(), 50u);
+    std::uint8_t out[blockBytes];
+    for (unsigned l = 0; l < rank.blocks(); ++l) {
+        const auto res = rank.readBlock(l, out);
+        ASSERT_NE(res.path, ReadPath::Failed);
+        ASSERT_EQ(std::memcmp(out, truth[l].data(), blockBytes), 0)
+            << "logical block " << l;
+    }
+}
+
+TEST(WearLevel, HotBlockWearSpreads)
+{
+    // Without leveling a single hot block would concentrate all wear
+    // in one frame (imbalance = frames). With start-gap the hot
+    // frame's share shrinks as the mapping rotates.
+    WearLevelledRank rank(30, 4, 13);
+    std::uint8_t data[blockBytes] = {};
+    for (int w = 0; w < 2000; ++w) {
+        data[0] = static_cast<std::uint8_t>(w);
+        rank.writeBlock(3, data);
+    }
+    // Perfect leveling would be 1.0; a pathological mapping would be
+    // ~frames/3 given migration writes. Expect meaningful spreading.
+    EXPECT_LT(rank.wearImbalance(),
+              static_cast<double>(rank.blocks()) / 3.0);
+    // Every frame must have absorbed some writes.
+    for (unsigned f = 0; f <= rank.blocks(); ++f)
+        EXPECT_GT(rank.frameWrites()[f], 0u) << "frame " << f;
+}
+
+TEST(WearLevel, SurvivesErrorsDuringMigration)
+{
+    WearLevelledRank rank(28, 3, 17);
+    Rng rng(18);
+    std::uint8_t data[blockBytes] = {};
+    for (int w = 0; w < 200; ++w) {
+        data[1] = static_cast<std::uint8_t>(w);
+        rank.writeBlock(w % rank.blocks(), data);
+        if (w % 20 == 19)
+            rank.rank().injectErrors(rng, 1e-4);
+    }
+    std::uint8_t out[blockBytes];
+    const auto res = rank.readBlock(5, out);
+    EXPECT_NE(res.path, ReadPath::Failed);
+}
+
+TEST(EccRotation, RoundTripsAcrossEpochs)
+{
+    EccRotation rot(264);
+    Rng rng(5);
+    BitVec code(264);
+    code.randomize(rng);
+    for (int epoch = 0; epoch < 40; ++epoch) {
+        const BitVec physical = rot.rotate(code);
+        EXPECT_EQ(rot.unrotate(physical), code) << "epoch " << epoch;
+        rot.nextEpoch();
+    }
+}
+
+TEST(EccRotation, PositionsShiftEachEpoch)
+{
+    EccRotation rot(264);
+    const unsigned before = rot.position(0);
+    rot.nextEpoch();
+    EXPECT_NE(rot.position(0), before);
+}
+
+TEST(EccRotation, EveryCellEventuallyHostsCodeBitZero)
+{
+    // The point of rotation [88]: over epochs, wear from code bit 0
+    // spreads across many physical cells.
+    EccRotation rot(264);
+    std::set<unsigned> cells;
+    for (int epoch = 0; epoch < 264; ++epoch) {
+        cells.insert(rot.position(0));
+        rot.nextEpoch();
+    }
+    EXPECT_GT(cells.size(), 200u);
+}
+
+TEST(WearOut, StuckBitsDetectedByWriteVerify)
+{
+    PmRank rank(64);
+    Rng rng(21);
+    rank.initialize(rng);
+    // Wear out three cells in block 12's beats.
+    rank.setStuckBit(0, 12 * chipBeatBytes + 2, 5, true);
+    rank.setStuckBit(3, 12 * chipBeatBytes + 7, 0, false);
+    rank.setStuckBit(8, 12 * chipBeatBytes + 1, 3, true);
+
+    std::uint8_t data[blockBytes];
+    Rng data_rng(22);
+    unsigned max_bad = 0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        for (auto &byte : data)
+            byte = static_cast<std::uint8_t>(data_rng.next() & 0xFF);
+        max_bad = std::max(max_bad, rank.writeVerify(12, data));
+    }
+    // Each stuck cell disagrees with the intended value for half of
+    // random data; across 8 attempts at least one write must see >= 1
+    // bad bit, and never more than the three worn cells.
+    EXPECT_GE(max_bad, 1u);
+    EXPECT_LE(max_bad, 3u);
+
+    // The stuck bits are still correctable by the runtime path.
+    std::uint8_t out[blockBytes];
+    const auto res = rank.readBlock(12, out);
+    EXPECT_NE(res.path, ReadPath::Failed);
+    EXPECT_TRUE(res.dataCorrect);
+}
+
+TEST(WearOut, CleanBlockVerifiesZeroBadBits)
+{
+    PmRank rank(64);
+    Rng rng(23);
+    rank.initialize(rng);
+    std::uint8_t data[blockBytes] = {1, 2, 3};
+    EXPECT_EQ(rank.writeVerify(20, data), 0u);
+}
+
+TEST(WearOut, DisableBlockAfterWearOutDetection)
+{
+    // The full Section V-E flow: detect a worn block via write-verify,
+    // then disable it; the VLEW stays consistent for its neighbours.
+    PmRank rank(64);
+    Rng rng(25);
+    rank.initialize(rng);
+    for (unsigned bit = 0; bit < 6; ++bit)
+        rank.setStuckBit(1, 30 * chipBeatBytes + bit, bit, true);
+
+    std::uint8_t data[blockBytes];
+    for (auto &byte : data)
+        byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    const unsigned bad = rank.writeVerify(30, data);
+    if (bad > 0)
+        rank.disableBlock(30);
+    EXPECT_TRUE(rank.isDisabled(30) || bad == 0);
+
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < 32; ++b) {
+        if (rank.isDisabled(b))
+            continue;
+        const auto res = rank.readBlock(b, out);
+        EXPECT_TRUE(res.dataCorrect) << "block " << b;
+    }
+}
+
+} // namespace
+} // namespace nvck

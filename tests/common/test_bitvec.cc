@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+
+namespace nvck {
+namespace {
+
+TEST(BitVec, StartsZeroed)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.popcount(), 0u);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(200);
+    v.set(0, true);
+    v.set(63, true);
+    v.set(64, true);
+    v.set(199, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(199));
+    EXPECT_EQ(v.popcount(), 4u);
+
+    v.flip(63);
+    EXPECT_FALSE(v.get(63));
+    v.flip(63);
+    EXPECT_TRUE(v.get(63));
+
+    v.set(0, false);
+    EXPECT_FALSE(v.get(0));
+    EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, XorAndDistance)
+{
+    BitVec a(100), b(100);
+    a.set(3, true);
+    a.set(70, true);
+    b.set(70, true);
+    b.set(99, true);
+    EXPECT_EQ(a.distance(b), 2u);
+
+    a ^= b;
+    EXPECT_TRUE(a.get(3));
+    EXPECT_FALSE(a.get(70));
+    EXPECT_TRUE(a.get(99));
+}
+
+TEST(BitVec, EqualityRespectsLength)
+{
+    BitVec a(10), b(10), c(11);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    b.set(5, true);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(BitVec, RandomizeMasksTail)
+{
+    Rng rng(7);
+    BitVec v(70); // 6 tail bits in second word
+    v.randomize(rng);
+    // Popcount must count only in-range bits: flipping every in-range bit
+    // must bring popcount to size - popcount.
+    const std::size_t ones = v.popcount();
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v.flip(i);
+    EXPECT_EQ(v.popcount(), v.size() - ones);
+}
+
+TEST(BitVec, InjectExactErrors)
+{
+    Rng rng(11);
+    BitVec v(512);
+    v.injectExactErrors(rng, 14);
+    EXPECT_EQ(v.popcount(), 14u);
+}
+
+TEST(BitVec, InjectErrorsMatchesRate)
+{
+    Rng rng(13);
+    const double ber = 1e-3;
+    const std::size_t bits = 1 << 16;
+    std::size_t total = 0;
+    const int trials = 40;
+    for (int i = 0; i < trials; ++i) {
+        BitVec v(bits);
+        total += v.injectErrors(rng, ber);
+    }
+    const double expected = ber * bits * trials;
+    EXPECT_NEAR(static_cast<double>(total), expected, 0.25 * expected);
+}
+
+TEST(BitVec, GetSetBitsRoundTrip)
+{
+    BitVec v(256);
+    v.setBits(60, 16, 0xBEEF); // straddles a word boundary
+    EXPECT_EQ(v.getBits(60, 16), 0xBEEFu);
+    v.setBits(128, 64, 0x0123456789ABCDEFull);
+    EXPECT_EQ(v.getBits(128, 64), 0x0123456789ABCDEFull);
+    EXPECT_EQ(v.getBits(60, 16), 0xBEEFu); // earlier field undisturbed
+}
+
+TEST(BitVec, SetBitsDoesNotClobberNeighbours)
+{
+    BitVec v(128);
+    v.setBits(0, 8, 0xFF);
+    v.setBits(16, 8, 0xFF);
+    v.setBits(8, 8, 0x00);
+    EXPECT_EQ(v.getBits(0, 8), 0xFFu);
+    EXPECT_EQ(v.getBits(8, 8), 0x00u);
+    EXPECT_EQ(v.getBits(16, 8), 0xFFu);
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(37), 37u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(5);
+    const std::uint64_t buckets = 8;
+    std::uint64_t counts[8] = {};
+    const int samples = 80000;
+    for (int i = 0; i < samples; ++i)
+        ++counts[rng.below(buckets)];
+    for (auto c : counts) {
+        EXPECT_GT(c, samples / 8 * 0.9);
+        EXPECT_LT(c, samples / 8 * 1.1);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / samples, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(17);
+    const double p = 0.02;
+    double sum = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    EXPECT_NEAR(sum / samples, 1.0 / p, 0.05 / p);
+}
+
+TEST(Rng, GeometricOfOneIsOne)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, BinomialSmallMean)
+{
+    Rng rng(23);
+    const std::uint64_t n = 1000000;
+    const double p = 1e-5; // mean 10, exercises the geometric-skip path
+    double sum = 0;
+    const int samples = 4000;
+    for (int i = 0; i < samples; ++i)
+        sum += static_cast<double>(rng.binomial(n, p));
+    EXPECT_NEAR(sum / samples, n * p, 0.05 * n * p);
+}
+
+TEST(Rng, BinomialLargeMean)
+{
+    Rng rng(29);
+    const std::uint64_t n = 100000;
+    const double p = 0.5; // exercises the Gaussian path
+    double sum = 0;
+    const int samples = 2000;
+    for (int i = 0; i < samples; ++i) {
+        const auto s = rng.binomial(n, p);
+        ASSERT_LE(s, n);
+        sum += static_cast<double>(s);
+    }
+    EXPECT_NEAR(sum / samples, n * p, 0.01 * n * p);
+}
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(31);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+} // namespace
+} // namespace nvck

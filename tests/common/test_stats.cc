@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(3);
+    h.sample(9); // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflowed(), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Histogram, Cumulative)
+{
+    Histogram h(8);
+    for (std::size_t v : {0u, 0u, 1u, 2u, 7u})
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(0), 2.0 / 5.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(2), 4.0 / 5.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(7), 1.0);
+}
+
+TEST(StatGroup, DumpsNamedScalars)
+{
+    StatGroup g("llc");
+    g.record("hits", 10);
+    g.record("misses", 2);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("llc.hits 10"), std::string::npos);
+    EXPECT_NE(os.str().find("llc.misses 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace nvck

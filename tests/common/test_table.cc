@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows)
+{
+    Table t({"scheme", "storage"});
+    t.row().cell("proposal").pct(0.27);
+    t.row().cell("duo-ext").pct(0.69);
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("scheme"), std::string::npos);
+    EXPECT_NE(text.find("27.0%"), std::string::npos);
+    EXPECT_NE(text.find("69.0%"), std::string::npos);
+}
+
+TEST(Table, FormatsSmallNumbersScientifically)
+{
+    EXPECT_EQ(Table::formatNumber(3.3e-22, 2), "3.3e-22");
+    EXPECT_EQ(Table::formatNumber(0.0, 3), "0");
+}
+
+TEST(Table, FormatsModerateNumbersPlainly)
+{
+    EXPECT_EQ(Table::formatNumber(27.0, 4), "27");
+    EXPECT_EQ(Table::formatNumber(1.5, 2), "1.5");
+}
+
+TEST(Table, IntegerCells)
+{
+    Table t({"n"});
+    t.row().cell(std::uint64_t{4095});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("4095"), std::string::npos);
+}
+
+} // namespace
+} // namespace nvck

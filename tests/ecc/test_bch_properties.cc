@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+
+namespace nvck {
+namespace {
+
+struct CodePoint
+{
+    unsigned k;
+    unsigned t;
+};
+
+class BchAlgebra : public ::testing::TestWithParam<CodePoint>
+{};
+
+TEST_P(BchAlgebra, CodeIsLinear)
+{
+    // The XOR of two codewords is a codeword — the property the whole
+    // XOR-sum write path rests on.
+    const auto [k, t] = GetParam();
+    const BchCodec codec(k, t);
+    Rng rng(k * 31 + t);
+    BitVec a(k), b(k);
+    a.randomize(rng);
+    b.randomize(rng);
+    BitVec ca = codec.encode(a);
+    const BitVec cb = codec.encode(b);
+    ca ^= cb;
+    EXPECT_TRUE(codec.isCodeword(ca));
+}
+
+TEST_P(BchAlgebra, ZeroEncodesToZero)
+{
+    const auto [k, t] = GetParam();
+    const BchCodec codec(k, t);
+    const BitVec zero(k);
+    const BitVec cw = codec.encode(zero);
+    EXPECT_EQ(cw.popcount(), 0u);
+    EXPECT_TRUE(codec.isCodeword(cw));
+}
+
+TEST_P(BchAlgebra, SystematicDataUntouched)
+{
+    const auto [k, t] = GetParam();
+    const BchCodec codec(k, t);
+    Rng rng(k * 7 + t);
+    BitVec data(k);
+    data.randomize(rng);
+    const BitVec cw = codec.encode(data);
+    for (unsigned i = 0; i < k; ++i)
+        ASSERT_EQ(cw.get(codec.r() + i), data.get(i)) << "bit " << i;
+}
+
+TEST_P(BchAlgebra, GeneratorDividesEveryCodeword)
+{
+    const auto [k, t] = GetParam();
+    const BchCodec codec(k, t);
+    // deg(g) <= t * m, and the constructed code must fit the paper's
+    // t * (ceil(log2 k) + 1) budget for its design points.
+    EXPECT_LE(codec.r(), t * codec.field().m());
+    EXPECT_EQ(codec.n(), codec.k() + codec.r());
+}
+
+TEST_P(BchAlgebra, CorrectsBurstOfTConsecutiveBits)
+{
+    // BCH corrects any t errors, including the adjacent bursts an
+    // NVRAM multi-level cell upset produces.
+    const auto [k, t] = GetParam();
+    const BchCodec codec(k, t);
+    Rng rng(k + t * 3);
+    BitVec data(k);
+    data.randomize(rng);
+    const BitVec clean = codec.encode(data);
+    for (unsigned start : {0u, codec.r() - 1, codec.n() - t}) {
+        BitVec noisy = clean;
+        for (unsigned i = 0; i < t; ++i)
+            noisy.flip(start + i);
+        const auto res = codec.decode(noisy);
+        ASSERT_EQ(res.status, DecodeStatus::Corrected)
+            << "burst at " << start;
+        ASSERT_EQ(noisy, clean);
+        ASSERT_EQ(res.corrections, t);
+    }
+}
+
+TEST_P(BchAlgebra, DeltaEncodeCommutesWithUpdates)
+{
+    // f(a) ^ f(b) ^ f(a^b) == 0 for arbitrary a, b.
+    const auto [k, t] = GetParam();
+    const BchCodec codec(k, t);
+    Rng rng(k * 3 + t * 11);
+    BitVec a(k), b(k);
+    a.randomize(rng);
+    b.randomize(rng);
+    BitVec ab = a;
+    ab ^= b;
+    BitVec sum = codec.encodeDelta(a);
+    sum ^= codec.encodeDelta(b);
+    sum ^= codec.encodeDelta(ab);
+    EXPECT_EQ(sum.popcount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodePoints, BchAlgebra,
+    ::testing::Values(CodePoint{64, 2}, CodePoint{512, 5},
+                      CodePoint{512, 14}, CodePoint{2048, 22},
+                      CodePoint{256, 8}));
+
+TEST(BchDistance, MinimumDistanceAtLeastDesign)
+{
+    // Spot-check d_min >= 2t+1 on a small code by confirming low-weight
+    // random codewords never appear: generate many random codewords and
+    // track the minimum nonzero weight.
+    const BchCodec codec(64, 3);
+    Rng rng(77);
+    std::size_t min_weight = codec.n();
+    for (int trial = 0; trial < 2000; ++trial) {
+        BitVec data(64);
+        data.randomize(rng);
+        const BitVec cw = codec.encode(data);
+        const std::size_t w = cw.popcount();
+        if (w != 0)
+            min_weight = std::min(min_weight, w);
+    }
+    EXPECT_GE(min_weight, 2u * codec.t() + 1u);
+}
+
+} // namespace
+} // namespace nvck

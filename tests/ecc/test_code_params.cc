@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "ecc/code_params.hh"
+
+namespace nvck {
+namespace {
+
+TEST(CodeParams, PaperCheckBitFormula)
+{
+    // t * (ceil(log2 k) + 1), Section III-A.
+    EXPECT_EQ(bchCheckBitsPaper(14, 512), 140u);
+    EXPECT_EQ(bchCheckBitsPaper(8, 512), 80u);
+    EXPECT_EQ(bchCheckBitsPaper(22, 2048), 264u);
+    EXPECT_EQ(bchCheckBitsPaper(41, 4096), 41u * 13u);
+    EXPECT_EQ(bchCheckBitsPaper(78, 512), 780u);
+    // Non-power-of-two k rounds the log up.
+    EXPECT_EQ(bchCheckBitsPaper(1, 513), 11u);
+}
+
+TEST(CodeParams, PaperOverheads)
+{
+    // 14-EC over 64B block: 140/512 = 27.3% ("28%" in the paper).
+    EXPECT_NEAR(bchOverheadPaper(14, 512), 0.273, 0.01);
+    // 78-EC (64 chip-failure bits + 14): ~152%.
+    EXPECT_NEAR(bchOverheadPaper(78, 512), 1.523, 0.01);
+    // VLEW: 33B per 256B.
+    EXPECT_NEAR(bchOverheadPaper(22, 2048), 33.0 / 256.0, 1e-9);
+}
+
+TEST(CodeParams, FieldDegreeCovers)
+{
+    EXPECT_EQ(bchFieldDegree(2312), 12u);
+    EXPECT_EQ(bchFieldDegree(652), 10u);
+    EXPECT_EQ(bchFieldDegree(7), 3u);
+    EXPECT_EQ(bchFieldDegree(8), 4u);
+}
+
+TEST(ProposalParams, StorageCostIs27Percent)
+{
+    const ProposalParams p;
+    // 33/256 + 1/8 * (1 + 33/256) = 0.2695...
+    EXPECT_NEAR(p.totalStorageCost(), 0.27, 0.005);
+}
+
+TEST(ProposalParams, VlewSpans32Blocks)
+{
+    const ProposalParams p;
+    EXPECT_EQ(p.blocksPerVlew(), 32u);
+    EXPECT_EQ(p.codeBlocksPerVlew(), 5u); // ceil(33/8)
+    // Paper rounds 33B/8B ~ 4 blocks; fetch overhead 35-36 blocks.
+    EXPECT_GE(p.vlewFetchOverheadBlocks(), 35u);
+    EXPECT_LE(p.vlewFetchOverheadBlocks(), 37u);
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ecc/crc.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Crc8, KnownVector)
+{
+    // CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+    const std::array<std::uint8_t, 9> msg{'1', '2', '3', '4', '5',
+                                          '6', '7', '8', '9'};
+    EXPECT_EQ(crc8(msg), 0xF4);
+}
+
+TEST(Crc8, EmptyIsZero)
+{
+    EXPECT_EQ(crc8({}), 0x00);
+}
+
+TEST(Crc8, DetectsSingleBitFlips)
+{
+    Rng rng(8);
+    std::vector<std::uint8_t> block(64);
+    for (auto &b : block)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const std::uint8_t good = crc8(block);
+    for (std::size_t byte = 0; byte < block.size(); byte += 7) {
+        for (int bit = 0; bit < 8; ++bit) {
+            block[byte] ^= static_cast<std::uint8_t>(1 << bit);
+            EXPECT_FALSE(crc8Check(block, good))
+                << "missed flip at byte " << byte << " bit " << bit;
+            block[byte] ^= static_cast<std::uint8_t>(1 << bit);
+        }
+    }
+    EXPECT_TRUE(crc8Check(block, good));
+}
+
+TEST(Crc8, DetectsBurstWithinAByte)
+{
+    std::vector<std::uint8_t> block(64, 0xA5);
+    const std::uint8_t good = crc8(block);
+    block[10] ^= 0xFF;
+    EXPECT_FALSE(crc8Check(block, good));
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "ecc/rs.hh"
+
+namespace nvck {
+namespace {
+
+std::vector<GfElem>
+randomData(Rng &rng, unsigned k, unsigned field_size = 256)
+{
+    std::vector<GfElem> data(k);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.below(field_size));
+    return data;
+}
+
+/** Corrupt @p count distinct symbols (guaranteed value change). */
+std::vector<std::uint32_t>
+corrupt(Rng &rng, std::vector<GfElem> &cw, unsigned count,
+        unsigned field_size = 256)
+{
+    std::vector<std::uint32_t> positions;
+    while (positions.size() < count) {
+        const auto pos = static_cast<std::uint32_t>(rng.below(cw.size()));
+        if (std::find(positions.begin(), positions.end(), pos) !=
+            positions.end())
+            continue;
+        const GfElem delta =
+            static_cast<GfElem>(1 + rng.below(field_size - 1));
+        cw[pos] ^= delta;
+        positions.push_back(pos);
+    }
+    return positions;
+}
+
+TEST(Rs, PaperGeometry)
+{
+    const RsCodec rs(64, 8);
+    EXPECT_EQ(rs.n(), 72u);
+    EXPECT_EQ(rs.dmin(), 9u); // MDS: d = r + 1
+    EXPECT_EQ(rs.t(), 4u);    // corrects 4 byte errors
+}
+
+TEST(Rs, EncodeRoundTrip)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(1);
+    const auto data = randomData(rng, 64);
+    const auto cw = rs.encode(data);
+    EXPECT_TRUE(rs.isCodeword(cw));
+    EXPECT_EQ(rs.extractData(cw), data);
+}
+
+class RsErrorCount : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RsErrorCount, CorrectsExactlyThatMany)
+{
+    const unsigned errors = GetParam();
+    const RsCodec rs(64, 8);
+    Rng rng(100 + errors);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto data = randomData(rng, 64);
+        const auto clean = rs.encode(data);
+        auto noisy = clean;
+        corrupt(rng, noisy, errors);
+        const auto res = rs.decode(noisy);
+        ASSERT_NE(res.status, DecodeStatus::Uncorrectable);
+        ASSERT_EQ(noisy, clean);
+        ASSERT_EQ(res.corrections, errors);
+        ASSERT_EQ(res.errorCorrections, errors);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroToFour, RsErrorCount,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(Rs, FiveErrorsNeverSilentlyCorrectToTruth)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(321);
+    unsigned detected = 0, miscorrected = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto data = randomData(rng, 64);
+        const auto clean = rs.encode(data);
+        auto noisy = clean;
+        corrupt(rng, noisy, 5);
+        const auto res = rs.decode(noisy);
+        if (res.status == DecodeStatus::Uncorrectable) {
+            ++detected;
+        } else {
+            // d_min = 9 guarantees a 5-error word cannot decode back to
+            // the transmitted codeword with <= 4 corrections.
+            EXPECT_FALSE(noisy == clean);
+            ++miscorrected;
+        }
+    }
+    // The appendix predicts miscorrection for ~2.4e-4 of uncorrectable
+    // words; with 300 trials we expect essentially all detected.
+    EXPECT_GT(detected, 290u);
+    EXPECT_EQ(detected + miscorrected, 300u);
+}
+
+TEST(Rs, ErasureOnlyCorrectionUpToR)
+{
+    // Eight erasures = a dead chip's eight beats (erasure correction,
+    // Section V-B).
+    const RsCodec rs(64, 8);
+    Rng rng(77);
+    const auto data = randomData(rng, 64);
+    const auto clean = rs.encode(data);
+    auto noisy = clean;
+
+    // A failed chip: symbols 8..15 garbled.
+    std::vector<std::uint32_t> erasures;
+    for (std::uint32_t pos = 8; pos < 16; ++pos) {
+        noisy[pos] = static_cast<GfElem>(rng.below(256));
+        erasures.push_back(pos);
+    }
+    const auto res = rs.decode(noisy, erasures);
+    ASSERT_NE(res.status, DecodeStatus::Uncorrectable);
+    EXPECT_EQ(noisy, clean);
+}
+
+TEST(Rs, NineErasuresRejected)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(78);
+    auto cw = rs.encode(randomData(rng, 64));
+    std::vector<std::uint32_t> erasures;
+    for (std::uint32_t pos = 0; pos < 9; ++pos)
+        erasures.push_back(pos);
+    cw[0] ^= 1;
+    const auto res = rs.decode(cw, erasures);
+    EXPECT_EQ(res.status, DecodeStatus::Uncorrectable);
+}
+
+class RsErasureMix : public ::testing::TestWithParam<std::pair<unsigned,
+                                                               unsigned>>
+{};
+
+TEST_P(RsErasureMix, CorrectsWhenTwoTPlusEWithinR)
+{
+    const auto [errors, erasure_count] = GetParam();
+    ASSERT_LE(2 * errors + erasure_count, 8u);
+    const RsCodec rs(64, 8);
+    Rng rng(1000 + errors * 16 + erasure_count);
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto data = randomData(rng, 64);
+        const auto clean = rs.encode(data);
+        auto noisy = clean;
+        // Erase some positions (garble them, remember indices)...
+        std::vector<std::uint32_t> erasures;
+        while (erasures.size() < erasure_count) {
+            const auto pos =
+                static_cast<std::uint32_t>(rng.below(noisy.size()));
+            if (std::find(erasures.begin(), erasures.end(), pos) !=
+                erasures.end())
+                continue;
+            noisy[pos] = static_cast<GfElem>(rng.below(256));
+            erasures.push_back(pos);
+        }
+        // ...then add genuine errors elsewhere.
+        unsigned added = 0;
+        while (added < errors) {
+            const auto pos =
+                static_cast<std::uint32_t>(rng.below(noisy.size()));
+            if (std::find(erasures.begin(), erasures.end(), pos) !=
+                erasures.end())
+                continue;
+            if (noisy[pos] != clean[pos])
+                continue;
+            noisy[pos] ^= static_cast<GfElem>(1 + rng.below(255));
+            ++added;
+        }
+        const auto res = rs.decode(noisy, erasures);
+        ASSERT_NE(res.status, DecodeStatus::Uncorrectable)
+            << "errors=" << errors << " erasures=" << erasure_count;
+        ASSERT_EQ(noisy, clean);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, RsErasureMix,
+    ::testing::Values(std::pair{1u, 6u}, std::pair{2u, 4u},
+                      std::pair{3u, 2u}, std::pair{1u, 2u},
+                      std::pair{2u, 0u}, std::pair{0u, 8u},
+                      std::pair{4u, 0u}, std::pair{0u, 3u}));
+
+TEST(Rs, BoundedMaxErrorsRejectsBeyondCap)
+{
+    // The runtime corrector decodes with the full t = 4 capability but
+    // the paper's threshold scheme accepts only <= 2 corrections; the
+    // max_errors knob models a controller that refuses larger fixes.
+    const RsCodec rs(64, 8);
+    Rng rng(2024);
+    const auto data = randomData(rng, 64);
+    const auto clean = rs.encode(data);
+    auto noisy = clean;
+    corrupt(rng, noisy, 3);
+    const auto before = noisy;
+    const auto res = rs.decode(noisy, {}, 2);
+    EXPECT_EQ(res.status, DecodeStatus::Uncorrectable);
+    EXPECT_EQ(noisy, before); // untouched on rejection
+
+    const auto res_full = rs.decode(noisy, {}, 4);
+    EXPECT_EQ(res_full.status, DecodeStatus::Corrected);
+    EXPECT_EQ(noisy, clean);
+}
+
+TEST(Rs, ErasureAtCheckSymbols)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(31);
+    const auto data = randomData(rng, 64);
+    const auto clean = rs.encode(data);
+    auto noisy = clean;
+    std::vector<std::uint32_t> erasures{0, 1, 2, 3, 4, 5, 6, 7};
+    for (auto pos : erasures)
+        noisy[pos] = static_cast<GfElem>(rng.below(256));
+    const auto res = rs.decode(noisy, erasures);
+    ASSERT_NE(res.status, DecodeStatus::Uncorrectable);
+    EXPECT_EQ(noisy, clean);
+}
+
+TEST(Rs, ErasedButCorrectSymbolsAreFine)
+{
+    // Declaring erasures whose symbols happen to be correct must still
+    // decode (magnitude zero at those positions).
+    const RsCodec rs(64, 8);
+    Rng rng(32);
+    const auto data = randomData(rng, 64);
+    const auto clean = rs.encode(data);
+    auto noisy = clean;
+    std::vector<std::uint32_t> erasures{10, 20, 30};
+    noisy[20] ^= 0x55; // only one of the three actually wrong
+    const auto res = rs.decode(noisy, erasures);
+    ASSERT_NE(res.status, DecodeStatus::Uncorrectable);
+    EXPECT_EQ(noisy, clean);
+}
+
+TEST(Rs, WorksForOtherGeometries)
+{
+    // e.g. a DUO-like wider configuration.
+    const RsCodec rs(64, 16);
+    Rng rng(5);
+    const auto data = randomData(rng, 64);
+    const auto clean = rs.encode(data);
+    auto noisy = clean;
+    corrupt(rng, noisy, 8);
+    const auto res = rs.decode(noisy);
+    ASSERT_NE(res.status, DecodeStatus::Uncorrectable);
+    EXPECT_EQ(noisy, clean);
+    EXPECT_EQ(res.corrections, 8u);
+}
+
+TEST(Rs, RandomizedStressMixedLoads)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(909);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto data = randomData(rng, 64);
+        const auto clean = rs.encode(data);
+        auto noisy = clean;
+        const unsigned errors = static_cast<unsigned>(rng.below(5));
+        corrupt(rng, noisy, errors);
+        const auto res = rs.decode(noisy);
+        ASSERT_NE(res.status, DecodeStatus::Uncorrectable);
+        ASSERT_EQ(noisy, clean) << "trial " << trial;
+        ASSERT_EQ(res.corrections, errors);
+    }
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "ecc/rs.hh"
+#include "reliability/binomial.hh"
+#include "reliability/sdc_model.hh"
+
+namespace nvck {
+namespace {
+
+/**
+ * Empirical validation of the appendix's Term B: the probability that
+ * a *random word* decodes successfully (lands within distance t of
+ * some codeword) should match C(n,t)... summed over 0..t. For
+ * RS(72,64) with t = 4 that sum is dominated by the t = 4 term the
+ * paper computes (2.4e-4). Random 72-byte words are almost never
+ * codewords, so the measured accept rate estimates Term B directly.
+ */
+TEST(RsStatistics, TermBMatchesRandomWordAcceptRate)
+{
+    const RsCodec rs(64, 8);
+    Rng rng(777);
+    const std::uint64_t trials = 300000;
+    std::uint64_t accepted = 0;
+    std::vector<GfElem> word(rs.n());
+    for (std::uint64_t i = 0; i < trials; ++i) {
+        for (auto &s : word)
+            s = static_cast<GfElem>(rng.next() & 0xFF);
+        auto copy = word;
+        const auto res = rs.decode(copy, {}, 4);
+        if (res.status != DecodeStatus::Uncorrectable)
+            ++accepted;
+    }
+    const double measured =
+        static_cast<double>(accepted) / static_cast<double>(trials);
+    SdcInputs in;
+    double expected = 0.0;
+    for (unsigned t = 0; t <= 4; ++t)
+        expected += sdcTermB(in, t);
+    // ~2.4e-4 expected; 300k trials give ~72 hits, sigma ~8.5.
+    EXPECT_NEAR(measured, expected, 0.5 * expected);
+}
+
+TEST(RsStatistics, ThresholdTwoShrinksAcceptanceBall)
+{
+    // With the acceptance threshold at 2, random words are accepted at
+    // ~Term B(t<=2) ~ 1e-11: effectively never in a finite campaign.
+    const RsCodec rs(64, 8);
+    Rng rng(778);
+    std::vector<GfElem> word(rs.n());
+    std::uint64_t accepted = 0;
+    for (int i = 0; i < 100000; ++i) {
+        for (auto &s : word)
+            s = static_cast<GfElem>(rng.next() & 0xFF);
+        auto copy = word;
+        const auto res = rs.decode(copy, {}, 2);
+        if (res.status != DecodeStatus::Uncorrectable)
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, 0u);
+}
+
+/** Geometry sweep: the codec must be correct for any even r. */
+class RsGeometry : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RsGeometry, CorrectsUpToHalfR)
+{
+    const unsigned r = GetParam();
+    const RsCodec rs(64, r);
+    Rng rng(1000 + r);
+    for (int trial = 0; trial < 25; ++trial) {
+        std::vector<GfElem> data(64);
+        for (auto &s : data)
+            s = static_cast<GfElem>(rng.next() & 0xFF);
+        const auto clean = rs.encode(data);
+        auto noisy = clean;
+        const unsigned errors = r / 2;
+        // Corrupt `errors` distinct symbols.
+        std::vector<std::uint32_t> positions;
+        while (positions.size() < errors) {
+            const auto pos =
+                static_cast<std::uint32_t>(rng.below(noisy.size()));
+            if (std::find(positions.begin(), positions.end(), pos) !=
+                positions.end())
+                continue;
+            noisy[pos] ^= static_cast<GfElem>(1 + rng.below(255));
+            positions.push_back(pos);
+        }
+        const auto res = rs.decode(noisy);
+        ASSERT_NE(res.status, DecodeStatus::Uncorrectable)
+            << "r=" << r;
+        ASSERT_EQ(noisy, clean) << "r=" << r;
+    }
+}
+
+TEST_P(RsGeometry, FullErasureBudget)
+{
+    const unsigned r = GetParam();
+    const RsCodec rs(64, r);
+    Rng rng(2000 + r);
+    std::vector<GfElem> data(64);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.next() & 0xFF);
+    const auto clean = rs.encode(data);
+    auto noisy = clean;
+    std::vector<std::uint32_t> erasures;
+    for (std::uint32_t p = 0; p < r; ++p) {
+        noisy[p] = static_cast<GfElem>(rng.below(256));
+        erasures.push_back(p);
+    }
+    const auto res = rs.decode(noisy, erasures);
+    ASSERT_NE(res.status, DecodeStatus::Uncorrectable) << "r=" << r;
+    EXPECT_EQ(noisy, clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(CheckSymbolCounts, RsGeometry,
+                         ::testing::Values(2u, 4u, 8u, 12u, 16u, 32u));
+
+/** BCH with a forced (non-minimal) field degree must still work. */
+TEST(BchGeometry, ForcedFieldDegree)
+{
+    const BchCodec codec(512, 8, /*field_degree=*/13);
+    EXPECT_EQ(codec.field().m(), 13u);
+    Rng rng(5);
+    BitVec data(512);
+    data.randomize(rng);
+    BitVec cw = codec.encode(data);
+    cw.injectExactErrors(rng, 8);
+    const auto res = codec.decode(cw);
+    EXPECT_EQ(res.status, DecodeStatus::Corrected);
+    EXPECT_EQ(codec.extractData(cw), data);
+}
+
+TEST(BchGeometry, SingleErrorCorrectionDegenerateCase)
+{
+    const BchCodec codec(64, 1);
+    Rng rng(6);
+    BitVec data(64);
+    data.randomize(rng);
+    BitVec cw = codec.encode(data);
+    cw.flip(30);
+    const auto res = codec.decode(cw);
+    EXPECT_EQ(res.status, DecodeStatus::Corrected);
+    EXPECT_EQ(res.corrections, 1u);
+    EXPECT_EQ(codec.extractData(cw), data);
+}
+
+} // namespace
+} // namespace nvck

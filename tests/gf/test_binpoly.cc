@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "gf/binpoly.hh"
+
+namespace nvck {
+namespace {
+
+TEST(BinPoly, DegreeOfMask)
+{
+    EXPECT_EQ(BinPoly().degree(), -1);
+    EXPECT_EQ(BinPoly(0x1).degree(), 0);
+    EXPECT_EQ(BinPoly(0x13).degree(), 4);
+}
+
+TEST(BinPoly, SetBitAcrossWords)
+{
+    BinPoly p;
+    p.setBit(100);
+    EXPECT_EQ(p.degree(), 100);
+    EXPECT_TRUE(p.bit(100));
+    EXPECT_FALSE(p.bit(99));
+    p.setBit(100, false);
+    EXPECT_TRUE(p.isZero());
+}
+
+TEST(BinPoly, MulSmallKnown)
+{
+    // (x + 1)(x + 1) = x^2 + 1 over GF(2).
+    const BinPoly p(0x3);
+    const BinPoly sq = BinPoly::mul(p, p);
+    EXPECT_EQ(sq, BinPoly(0x5));
+    // (x^2 + x + 1)(x + 1) = x^3 + 1.
+    EXPECT_EQ(BinPoly::mul(BinPoly(0x7), BinPoly(0x3)), BinPoly(0x9));
+}
+
+TEST(BinPoly, MulAcrossWordBoundary)
+{
+    BinPoly a;
+    a.setBit(63);
+    BinPoly b;
+    b.setBit(1);
+    const BinPoly prod = BinPoly::mul(a, b);
+    EXPECT_EQ(prod.degree(), 64);
+    EXPECT_TRUE(prod.bit(64));
+}
+
+TEST(BinPoly, ModKnown)
+{
+    // x^4 mod (x^4 + x + 1) = x + 1.
+    BinPoly x4;
+    x4.setBit(4);
+    EXPECT_EQ(BinPoly::mod(x4, BinPoly(0x13)), BinPoly(0x3));
+}
+
+TEST(BinPoly, ModOfProductIsZero)
+{
+    BinPoly g(0x11D);
+    BinPoly q;
+    q.setBit(0);
+    q.setBit(77);
+    q.setBit(130);
+    const BinPoly prod = BinPoly::mul(g, q);
+    EXPECT_TRUE(BinPoly::mod(prod, g).isZero());
+    // And adding 1 makes it nonzero.
+    BinPoly prod1 = prod;
+    prod1 ^= BinPoly::one();
+    EXPECT_FALSE(BinPoly::mod(prod1, g).isZero());
+}
+
+TEST(BinPoly, ShiftMultipliesByPowerOfX)
+{
+    const BinPoly p(0x5);
+    const BinPoly shifted = BinPoly::shift(p, 70);
+    EXPECT_TRUE(shifted.bit(70));
+    EXPECT_TRUE(shifted.bit(72));
+    EXPECT_EQ(shifted.degree(), 72);
+    EXPECT_EQ(BinPoly::mod(shifted, p).degree(), -1);
+}
+
+TEST(BinPoly, XorAssign)
+{
+    BinPoly a(0xF0);
+    a ^= BinPoly(0x0F);
+    EXPECT_EQ(a, BinPoly(0xFF));
+    a ^= BinPoly(0xFF);
+    EXPECT_TRUE(a.isZero());
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "gf/gf2m.hh"
+
+namespace nvck {
+namespace {
+
+class Gf2mParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Gf2mParam, AlphaGeneratesFullGroup)
+{
+    const Gf2m gf(GetParam());
+    // Every nonzero element must appear exactly once as a power of alpha;
+    // the constructor asserts this, so just spot-check log/exp inverses.
+    for (GfElem a = 1; a < gf.size(); ++a)
+        EXPECT_EQ(gf.alphaPow(gf.log(a)), a);
+}
+
+TEST_P(Gf2mParam, MultiplicationAgreesWithSchoolbook)
+{
+    const unsigned m = GetParam();
+    const Gf2m gf(m);
+    // Carry-less multiply then reduce by the primitive polynomial.
+    auto slow_mul = [&](GfElem a, GfElem b) {
+        std::uint64_t acc = 0;
+        for (unsigned i = 0; i < m; ++i)
+            if ((b >> i) & 1)
+                acc ^= static_cast<std::uint64_t>(a) << i;
+        for (int bit = 2 * m - 2; bit >= static_cast<int>(m); --bit)
+            if ((acc >> bit) & 1)
+                acc ^= static_cast<std::uint64_t>(gf.poly())
+                       << (bit - m);
+        return static_cast<GfElem>(acc);
+    };
+    // Exhaustive for small fields, sampled for big ones.
+    const GfElem limit = gf.size() > 64 ? 64 : gf.size();
+    for (GfElem a = 0; a < limit; ++a)
+        for (GfElem b = 0; b < limit; ++b)
+            EXPECT_EQ(gf.mul(a, b), slow_mul(a, b))
+                << "m=" << m << " a=" << a << " b=" << b;
+}
+
+TEST_P(Gf2mParam, InverseIsInverse)
+{
+    const Gf2m gf(GetParam());
+    const GfElem step =
+        gf.size() > 4096 ? gf.size() / 1024 : 1;
+    for (GfElem a = 1; a < gf.size(); a += step)
+        EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+}
+
+TEST_P(Gf2mParam, DivisionInvertsMultiplication)
+{
+    const Gf2m gf(GetParam());
+    const GfElem probe = gf.size() - 3;
+    for (GfElem b = 1; b < 50 && b < gf.size(); ++b)
+        EXPECT_EQ(gf.div(gf.mul(probe, b), b), probe);
+}
+
+TEST_P(Gf2mParam, PowMatchesRepeatedMul)
+{
+    const Gf2m gf(GetParam());
+    const GfElem a = 3 % gf.size();
+    GfElem acc = 1;
+    for (unsigned e = 0; e < 20; ++e) {
+        EXPECT_EQ(gf.pow(a, e), acc);
+        acc = gf.mul(acc, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, Gf2mParam,
+                         ::testing::Values(3u, 4u, 8u, 10u, 12u, 13u, 14u));
+
+TEST(Gf2m, KnownGf256Products)
+{
+    // AES-adjacent field with poly 0x11D: well-known products.
+    const Gf2m gf(8);
+    EXPECT_EQ(gf.mul(0x02, 0x80), 0x1Du); // x * x^7 = x^8 = poly tail
+    EXPECT_EQ(gf.mul(0, 123), 0u);
+    EXPECT_EQ(gf.mul(1, 123), 123u);
+}
+
+TEST(Gf2m, AlphaPowWrapsAroundOrder)
+{
+    const Gf2m gf(8);
+    EXPECT_EQ(gf.alphaPow(0), 1u);
+    EXPECT_EQ(gf.alphaPow(gf.order()), 1u);
+    EXPECT_EQ(gf.alphaPow(2 * gf.order() + 5), gf.alphaPow(5));
+}
+
+} // namespace
+} // namespace nvck

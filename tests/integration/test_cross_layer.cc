@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "chipkill/pm_rank.hh"
+#include "chipkill/schemes.hh"
+#include "reliability/error_model.hh"
+#include "reliability/sdc_model.hh"
+
+namespace nvck {
+namespace {
+
+/**
+ * Cross-layer consistency: the analytical fallback fraction that the
+ * timing simulator injects (SchemeTiming::vlewFetchProb) must match
+ * what the bit-accurate rank actually measures when the same RBER is
+ * injected — the two layers model the same machine.
+ */
+TEST(CrossLayer, AnalyticalFallbackMatchesBitAccurateRank)
+{
+    const double rber = rber::runtimePcm3Hourly;
+    const double predicted = proposalScheme(rber).vlewFetchProb;
+
+    PmRank rank(2048);
+    Rng rng(31415);
+    rank.initialize(rng);
+
+    std::uint64_t reads = 0, fallbacks = 0;
+    std::uint8_t out[blockBytes];
+    for (int round = 0; round < 20; ++round) {
+        rank.injectErrors(rng, rber);
+        for (unsigned b = 0; b < rank.blocks(); ++b) {
+            const auto res = rank.readBlock(b, out);
+            ASSERT_NE(res.path, ReadPath::Failed);
+            ASSERT_TRUE(res.dataCorrect);
+            ++reads;
+            if (res.path == ReadPath::VlewFallback)
+                ++fallbacks;
+        }
+        rank.bootScrub(); // reset accumulation between rounds
+    }
+    const double measured =
+        static_cast<double>(fallbacks) / static_cast<double>(reads);
+    // predicted ~2.2e-4; 40960 reads -> ~9 events, sigma ~3. Allow a
+    // wide but meaningful band (same order of magnitude).
+    EXPECT_GT(measured, predicted / 4.0);
+    EXPECT_LT(measured, predicted * 4.0);
+}
+
+/**
+ * The RBER model, the storage model, and the codec must agree: the
+ * VLEW strength chosen for the boot-target RBER actually corrects what
+ * that RBER throws at the real codec.
+ */
+TEST(CrossLayer, BootTargetRberSurvivesRealVlew)
+{
+    const double rber = rberAfter(MemTech::Reram, secondsPerYear);
+    ASSERT_NEAR(rber, rber::bootTarget, 1e-4);
+
+    const BchCodec vlew(2048, 22);
+    Rng rng(2718);
+    BitVec data(2048);
+    unsigned worst = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        data.randomize(rng);
+        BitVec cw = vlew.encode(data);
+        cw.injectErrors(rng, rber);
+        const auto res = vlew.decode(cw);
+        ASSERT_NE(res.status, DecodeStatus::Uncorrectable);
+        ASSERT_EQ(vlew.extractData(cw), data);
+        worst = std::max(worst, res.corrections);
+    }
+    // Mean errors ~2.3/word; the 22-bit budget has huge headroom.
+    EXPECT_LE(worst, 22u);
+}
+
+/**
+ * End-to-end story test: a full lifecycle — populate, run with errors,
+ * wear out a block, disable it, lose a chip, scrub, reconfigure-ready —
+ * with data intact at every step.
+ */
+TEST(CrossLayer, FullLifecycle)
+{
+    PmRank rank(256);
+    Rng rng(161803);
+    rank.initialize(rng);
+
+    // Populate.
+    Rng data_rng(141421);
+    std::vector<std::array<std::uint8_t, blockBytes>> truth(64);
+    for (unsigned i = 0; i < truth.size(); ++i) {
+        for (auto &byte : truth[i])
+            byte = static_cast<std::uint8_t>(data_rng.next() & 0xFF);
+        rank.writeBlock(i, truth[i].data());
+    }
+
+    // Months of runtime with hourly-refresh errors and rewrites.
+    std::uint8_t out[blockBytes];
+    for (int epoch = 0; epoch < 5; ++epoch) {
+        rank.injectErrors(rng, rber::runtimePcm3Hourly);
+        for (unsigned i = 0; i < truth.size(); ++i) {
+            const auto res = rank.readBlock(i, out);
+            ASSERT_NE(res.path, ReadPath::Failed);
+            ASSERT_EQ(std::memcmp(out, truth[i].data(), blockBytes), 0);
+        }
+        truth[epoch][5] = static_cast<std::uint8_t>(epoch);
+        rank.writeBlock(static_cast<unsigned>(epoch),
+                        truth[epoch].data());
+    }
+
+    // A block wears out: detect and disable it.
+    rank.setStuckBit(2, 40 * chipBeatBytes, 1, true);
+    std::uint8_t probe[blockBytes] = {};
+    const unsigned bad = rank.writeVerify(40, probe);
+    if (bad > 0)
+        rank.disableBlock(40);
+
+    // An outage with a dead chip.
+    rank.failChip(7, rng);
+    rank.injectErrors(rng, rber::bootTarget / 10.0);
+    const auto report = rank.bootScrub();
+    ASSERT_FALSE(report.uncorrectable);
+    EXPECT_EQ(report.chipsRecovered, 1u);
+
+    // Everything committed is still there.
+    for (unsigned i = 0; i < truth.size(); ++i) {
+        if (rank.isDisabled(i))
+            continue;
+        const auto res = rank.readBlock(i, out);
+        ASSERT_EQ(res.path, ReadPath::Clean);
+        ASSERT_EQ(std::memcmp(out, truth[i].data(), blockBytes), 0)
+            << "block " << i;
+    }
+}
+
+/**
+ * The storage arithmetic quoted everywhere must tie out between the
+ * params struct, the scheme catalogue, and the analytical model.
+ */
+TEST(CrossLayer, StorageNumbersAgree)
+{
+    const ProposalParams p;
+    const auto scheme = proposalScheme(2e-4);
+    EXPECT_DOUBLE_EQ(scheme.storageOverhead, p.totalStorageCost());
+    EXPECT_NEAR(p.totalStorageCost(), 0.27, 0.005);
+
+    // And the real constructed codes fit the paper's budgets.
+    const BchCodec vlew(2048, 22);
+    EXPECT_LE(vlew.r(), p.vlewCodeBytes * 8);
+    const RsCodec rs(p.rsDataBytes, p.rsCheckBytes);
+    EXPECT_EQ(rs.n() - rs.k(), p.rsCheckBytes);
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "mem/eur.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Eur, CoalescesWritesToSameVlew)
+{
+    EurModel eur(16, 4);
+    eur.recordWrite(0, 2);
+    eur.recordWrite(0, 2);
+    eur.recordWrite(0, 2);
+    EXPECT_EQ(eur.pendingRegisters(0), 1u);
+    EXPECT_EQ(eur.drain(0), 1u);
+    EXPECT_EQ(eur.dataWrites(), 3u);
+    EXPECT_EQ(eur.codeWrites(), 1u);
+    EXPECT_NEAR(eur.cFactor(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Eur, SeparateVlewsSeparateRegisters)
+{
+    EurModel eur(16, 4);
+    eur.recordWrite(3, 0);
+    eur.recordWrite(3, 1);
+    eur.recordWrite(3, 3);
+    EXPECT_EQ(eur.pendingRegisters(3), 3u);
+    EXPECT_EQ(eur.drain(3), 3u);
+    EXPECT_EQ(eur.pendingRegisters(3), 0u);
+}
+
+TEST(Eur, BanksAreIndependent)
+{
+    EurModel eur(4, 4);
+    eur.recordWrite(0, 0);
+    eur.recordWrite(1, 0);
+    EXPECT_EQ(eur.drain(0), 1u);
+    EXPECT_EQ(eur.pendingRegisters(1), 1u);
+}
+
+TEST(Eur, DrainOfCleanBankIsZero)
+{
+    EurModel eur(4, 4);
+    EXPECT_EQ(eur.drain(2), 0u);
+    EXPECT_EQ(eur.codeWrites(), 0u);
+}
+
+TEST(Eur, PaperRegisterBudget)
+{
+    // B * R / 256 registers total: R = 1KB per chip row -> 4 per bank.
+    EurModel eur(16, 1024 / 256);
+    EXPECT_EQ(eur.registersPerBank(), 4u);
+}
+
+TEST(Eur, WorstCaseCFactorIsOne)
+{
+    // Every write to a distinct VLEW (no row locality): C = 1.
+    EurModel eur(1, 4);
+    for (unsigned i = 0; i < 4; ++i)
+        eur.recordWrite(0, i);
+    eur.drain(0);
+    EXPECT_DOUBLE_EQ(eur.cFactor(), 1.0);
+}
+
+TEST(Eur, ResetStats)
+{
+    EurModel eur(1, 4);
+    eur.recordWrite(0, 0);
+    eur.drain(0);
+    eur.resetStats();
+    EXPECT_EQ(eur.codeWrites(), 0u);
+    EXPECT_EQ(eur.dataWrites(), 0u);
+}
+
+} // namespace
+} // namespace nvck

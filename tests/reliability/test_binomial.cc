@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reliability/binomial.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Binomial, ChooseSmallValues)
+{
+    EXPECT_DOUBLE_EQ(choose(5, 0), 1.0);
+    EXPECT_DOUBLE_EQ(choose(5, 5), 1.0);
+    EXPECT_NEAR(choose(5, 2), 10.0, 1e-9);
+    EXPECT_NEAR(choose(72, 2), 2556.0, 1e-6);
+    EXPECT_NEAR(choose(72, 4), 1028790.0, 1e-3);
+    EXPECT_DOUBLE_EQ(choose(3, 7), 0.0);
+}
+
+TEST(Binomial, PmfSumsToOne)
+{
+    const double p = 0.3;
+    double sum = 0;
+    for (unsigned k = 0; k <= 20; ++k)
+        sum += binomialPmf(20, k, p);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Binomial, PmfMatchesDirectComputation)
+{
+    // C(10,3) * 0.2^3 * 0.8^7.
+    const double expected = 120.0 * std::pow(0.2, 3) * std::pow(0.8, 7);
+    EXPECT_NEAR(binomialPmf(10, 3, 0.2), expected, 1e-12);
+}
+
+TEST(Binomial, TailEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(binomialTail(10, 0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(binomialTail(10, 11, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(binomialTail(10, 1, 0.0), 0.0);
+    EXPECT_NEAR(binomialTail(10, 1, 1.0), 1.0, 1e-12);
+}
+
+TEST(Binomial, TailComplementsPmf)
+{
+    const double p = 0.01;
+    const unsigned n = 100;
+    double below = 0;
+    for (unsigned k = 0; k < 3; ++k)
+        below += binomialPmf(n, k, p);
+    EXPECT_NEAR(binomialTail(n, 3, p), 1.0 - below, 1e-12);
+}
+
+TEST(Binomial, DeepTailIsAccurate)
+{
+    // P[X >= 5] for n=72 bytes, byte error 1.6e-3: the appendix's
+    // Term A scale (~1.3e-7); cross-check against direct log-space sum.
+    const double p = symbolErrorProb(2e-4, 8);
+    const double tail = binomialTail(72, 5, p);
+    EXPECT_GT(tail, 1e-7);
+    EXPECT_LT(tail, 2e-7);
+}
+
+TEST(Binomial, SymbolErrorProb)
+{
+    EXPECT_NEAR(symbolErrorProb(2e-4, 8), 1.0 - std::pow(1.0 - 2e-4, 8),
+                1e-15);
+    EXPECT_DOUBLE_EQ(symbolErrorProb(0.0, 8), 0.0);
+    // Tiny rates remain representable (naive 1-(1-p)^b would round off).
+    EXPECT_NEAR(symbolErrorProb(1e-18, 8), 8e-18, 1e-20);
+}
+
+TEST(Binomial, RequiredCorrectionMonotone)
+{
+    const double target = 1e-15;
+    const unsigned t_low = requiredCorrection(512, 1e-4, target);
+    const unsigned t_high = requiredCorrection(512, 1e-3, target);
+    EXPECT_LT(t_low, t_high);
+    // Paper checkpoint: 14-EC suffices for a 512-bit block at 1e-3.
+    EXPECT_LE(t_high, 15u);
+    EXPECT_GE(t_high, 12u);
+}
+
+TEST(Binomial, RequiredCorrectionMeetsTarget)
+{
+    const double p = 1e-3;
+    const double target = 1e-15;
+    const unsigned t = requiredCorrection(2048, p, target);
+    EXPECT_LE(binomialTail(2048, t + 1, p), target);
+    if (t > 0) {
+        EXPECT_GT(binomialTail(2048, t, p), target);
+    }
+}
+
+} // namespace
+} // namespace nvck

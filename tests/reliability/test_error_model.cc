@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "reliability/error_model.hh"
+
+namespace nvck {
+namespace {
+
+TEST(ErrorModel, PaperAnchorPoints)
+{
+    // Section II-B: RBER target 1e-3 corresponds to ReRAM one year
+    // after refresh and 3-bit PCM one week after refresh.
+    EXPECT_NEAR(rberAfter(MemTech::Reram, secondsPerYear), 1e-3, 1e-5);
+    EXPECT_NEAR(rberAfter(MemTech::Pcm3, secondsPerWeek), 1e-3, 1e-5);
+    // Section IV-A: runtime rates.
+    EXPECT_NEAR(rberAfter(MemTech::Reram, 1.0), 7e-5, 1e-6);
+    EXPECT_NEAR(rberAfter(MemTech::Pcm3, 1.0), 7e-5, 1e-6);
+    EXPECT_NEAR(rberAfter(MemTech::Pcm3, secondsPerHour), 2e-4, 1e-6);
+}
+
+TEST(ErrorModel, MonotoneNondecreasingInTime)
+{
+    for (MemTech tech : allMemTechs()) {
+        double prev = 0.0;
+        for (double t = 1.0; t <= secondsPerYear; t *= 3.7) {
+            const double r = rberAfter(tech, t);
+            EXPECT_GE(r, prev) << memTechName(tech) << " at t=" << t;
+            prev = r;
+        }
+    }
+}
+
+TEST(ErrorModel, ClampsOutsideAnchors)
+{
+    EXPECT_DOUBLE_EQ(rberAfter(MemTech::Reram, 0.0),
+                     rberAfter(MemTech::Reram, 1.0));
+    EXPECT_DOUBLE_EQ(rberAfter(MemTech::Reram, 10.0 * secondsPerYear),
+                     rberAfter(MemTech::Reram, secondsPerYear));
+}
+
+TEST(ErrorModel, NvramResemblesFlashMoreThanDram)
+{
+    // Fig 1's qualitative claim: at retention limits, NVRAM RBER is in
+    // the Flash ballpark, orders of magnitude above DRAM's random rate
+    // but comparable in magnitude to Flash.
+    const double reram = rberAfter(MemTech::Reram, secondsPerYear);
+    const double flash = rberAfter(MemTech::FlashMlc, secondsPerYear);
+    EXPECT_LT(reram / flash, 100.0);
+    EXPECT_GT(reram / flash, 0.01);
+}
+
+TEST(ErrorModel, MultiLevelCellsAreWorse)
+{
+    // 3-bit PCM drifts faster than 2-bit PCM everywhere.
+    for (double t = 1.0; t <= secondsPerYear; t *= 10)
+        EXPECT_GT(rberAfter(MemTech::Pcm3, t),
+                  rberAfter(MemTech::Pcm2, t));
+}
+
+TEST(ErrorModel, NamesAreDistinct)
+{
+    const auto &techs = allMemTechs();
+    for (std::size_t i = 0; i < techs.size(); ++i)
+        for (std::size_t j = i + 1; j < techs.size(); ++j)
+            EXPECT_NE(memTechName(techs[i]), memTechName(techs[j]));
+}
+
+} // namespace
+} // namespace nvck

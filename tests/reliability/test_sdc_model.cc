@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "reliability/sdc_model.hh"
+
+namespace nvck {
+namespace {
+
+TEST(SdcModel, TermBMatchesAppendix)
+{
+    const SdcInputs in; // RS(72, 64), m=8, rber 2e-4
+    // C(72,4) * 2^32 / 2^64 ~= 2.4e-4.
+    EXPECT_NEAR(sdcTermB(in, 4), 2.4e-4, 0.1e-4);
+    // C(72,2) * 2^16 / 2^64 ~= 9.1e-12.
+    EXPECT_NEAR(sdcTermB(in, 2), 9.1e-12, 0.2e-12);
+}
+
+TEST(SdcModel, TermAMatchesAppendix)
+{
+    const SdcInputs in;
+    // n_th = 5 at t = 4: ~1.3e-7 (the paper quotes 1.3e-7; our model
+    // includes the 8 check bytes in the word, giving ~1.5e-7).
+    const double a4 = sdcTermA(in, 4);
+    EXPECT_GT(a4, 1.0e-7);
+    EXPECT_LT(a4, 2.0e-7);
+    // n_th = 7 at t = 2: ~3.6e-11 in the paper's accounting.
+    const double a2 = sdcTermA(in, 2);
+    EXPECT_GT(a2, 2.0e-11);
+    EXPECT_LT(a2, 6.0e-11);
+}
+
+TEST(SdcModel, SdcRatesMatchAppendixOrders)
+{
+    const SdcInputs in;
+    // t=4: 3.2e-11; t=2: 3.3e-22 (order-of-magnitude checks).
+    const double sdc4 = sdcRate(in, 4);
+    EXPECT_GT(sdc4, 1e-11);
+    EXPECT_LT(sdc4, 1e-10);
+    const double sdc2 = sdcRate(in, 2);
+    EXPECT_GT(sdc2, 1e-23);
+    EXPECT_LT(sdc2, 1e-21);
+}
+
+TEST(SdcModel, ThresholdTwoMeetsTarget)
+{
+    // Section V-C: t = 2 beats the 1e-17 SDC target by orders of
+    // magnitude; t = 4 misses it by ~3,000,000x.
+    const SdcInputs in;
+    EXPECT_LT(sdcRate(in, 2), 1e-17);
+    EXPECT_GT(sdcRate(in, 4), 1e-17 * 1e5);
+}
+
+TEST(SdcModel, LowerRberStillMissesTargetAtFullT)
+{
+    // Section V-C: even at 7e-5 the full-capability SDC rate is
+    // ~18,000x above target.
+    SdcInputs in;
+    in.rber = 7e-5;
+    EXPECT_GT(sdcRate(in, 4), 1e-17 * 1e3);
+    EXPECT_LT(sdcRate(in, 2), 1e-17);
+}
+
+TEST(SdcModel, FallbackFractionNearPaperValue)
+{
+    // Section V-C: ~0.018% of reads fall back to VLEW correction
+    // (reads with >= 3 byte errors at runtime RBER).
+    const SdcInputs in; // 2e-4
+    const double frac = vlewFallbackFraction(in, 2);
+    EXPECT_GT(frac, 1.0e-4);
+    EXPECT_LT(frac, 3.5e-4);
+}
+
+TEST(SdcModel, BlockErrorFractionMatchesSection4)
+{
+    // Section IV-A: at 2e-4 RBER, ~10.3% of accesses contain bit
+    // errors; at 7e-5, ~4%.
+    SdcInputs hourly;
+    hourly.rber = 2e-4;
+    EXPECT_NEAR(blockErrorFraction(hourly), 0.109, 0.012);
+    SdcInputs fast;
+    fast.rber = 7e-5;
+    EXPECT_NEAR(blockErrorFraction(fast), 0.040, 0.005);
+}
+
+TEST(SdcModel, TermAMonotoneInT)
+{
+    // Larger t lowers the error count needed to miscorrect, so Term A
+    // grows with t.
+    const SdcInputs in;
+    EXPECT_LT(sdcTermA(in, 1), sdcTermA(in, 2));
+    EXPECT_LT(sdcTermA(in, 2), sdcTermA(in, 3));
+    EXPECT_LT(sdcTermA(in, 3), sdcTermA(in, 4));
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "reliability/storage_model.hh"
+
+namespace nvck {
+namespace {
+
+StorageTargets
+paperTargets(double rber = 1e-3)
+{
+    StorageTargets in;
+    in.rber = rber;
+    in.ueTarget = 1e-15;
+    return in;
+}
+
+TEST(StorageModel, BitErrorOnlyNeeds14EcAt1e3)
+{
+    const auto sol = bitErrorOnlyBch(paperTargets());
+    ASSERT_TRUE(sol.feasible);
+    // Section III-A: 14-bit-EC BCH, ~28% overhead.
+    EXPECT_GE(sol.t, 13u);
+    EXPECT_LE(sol.t, 15u);
+    EXPECT_NEAR(sol.totalOverhead, 0.28, 0.03);
+}
+
+TEST(StorageModel, BruteForceChipkillIsProhibitive)
+{
+    const auto sol = bruteForceChipkillBch(paperTargets());
+    ASSERT_TRUE(sol.feasible);
+    // Section III-A: 64 + 14 = 78-EC, ~152%.
+    EXPECT_GE(sol.t, 77u);
+    EXPECT_LE(sol.t, 79u);
+    EXPECT_NEAR(sol.totalOverhead, 1.52, 0.05);
+}
+
+TEST(StorageModel, PriorArtExtensionsCostAtLeast59Percent)
+{
+    // Fig 2: the cheapest DRAM-chipkill extension at 1e-3 RBER costs
+    // >= 69% in the paper's accounting; our model must agree that all
+    // of them are far above the proposal's 27%.
+    const auto in = paperTargets();
+    for (const auto &sol :
+         {xedExtension(in), samsungExtension(in), duoExtension(in)}) {
+        ASSERT_TRUE(sol.feasible) << sol.scheme;
+        EXPECT_GT(sol.totalOverhead, 0.50) << sol.scheme;
+    }
+}
+
+TEST(StorageModel, StorageCostDropsWithRber)
+{
+    const auto hi = duoExtension(paperTargets(1e-3));
+    const auto lo = duoExtension(paperTargets(1e-5));
+    ASSERT_TRUE(hi.feasible);
+    ASSERT_TRUE(lo.feasible);
+    EXPECT_GT(hi.totalOverhead, lo.totalOverhead);
+}
+
+TEST(StorageModel, VlewAt256BCostsAbout27Percent)
+{
+    // Fig 4: VLEWs with 256B of data + parity chip = 27% total.
+    const auto sol = vlewScheme(paperTargets(), 256);
+    ASSERT_TRUE(sol.feasible);
+    EXPECT_GE(sol.t, 21u);
+    EXPECT_LE(sol.t, 25u);
+    EXPECT_NEAR(sol.totalOverhead, 0.27, 0.03);
+}
+
+TEST(StorageModel, LongerWordsCostLess)
+{
+    // The coding-theory fact the design rests on [39]: at fixed RBER
+    // and reliability, longer words need proportionally less storage.
+    const auto rows =
+        vlewSweep(paperTargets(), {8, 16, 32, 64, 128, 256, 512});
+    ASSERT_EQ(rows.size(), 7u);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        ASSERT_TRUE(rows[i].feasible);
+        EXPECT_LE(rows[i].totalOverhead, rows[i - 1].totalOverhead + 1e-9)
+            << "word " << i;
+    }
+    // And the gain saturates: doubling 256B -> 512B buys only a few
+    // points (the paper stops at 256B / 27%).
+    EXPECT_NEAR(rows[5].totalOverhead, rows[6].totalOverhead, 0.05);
+}
+
+TEST(StorageModel, VlewBeatsEveryPriorExtension)
+{
+    const auto in = paperTargets();
+    const double vlew = vlewScheme(in, 256).totalOverhead;
+    EXPECT_LT(vlew, xedExtension(in).totalOverhead);
+    EXPECT_LT(vlew, samsungExtension(in).totalOverhead);
+    EXPECT_LT(vlew, duoExtension(in).totalOverhead);
+    EXPECT_LT(vlew, bruteForceChipkillBch(in).totalOverhead);
+}
+
+TEST(StorageModel, FlashCatalogueMatchesFig3)
+{
+    // Fig 3: 512B words; 41-EC costs ~13% and tolerates RBER in the
+    // 1e-3 decade; weaker codes tolerate less.
+    const auto rows = flashEccCatalogue({12, 24, 41}, 1e-15);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_NEAR(rows[2].overhead, 0.13, 0.01);
+    EXPECT_GT(rows[2].maxRber, 1e-3);
+    EXPECT_LT(rows[0].maxRber, rows[1].maxRber);
+    EXPECT_LT(rows[1].maxRber, rows[2].maxRber);
+}
+
+TEST(StorageModel, InfeasibleAtAbsurdRber)
+{
+    auto in = paperTargets(0.2);
+    const auto sol = xedExtension(in);
+    EXPECT_FALSE(sol.feasible);
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/synthetic.hh"
+
+namespace nvck {
+namespace {
+
+AddressSpace
+space()
+{
+    AddressSpace s;
+    s.pmBytes = 512ull << 20;
+    s.dramBytes = 512ull << 20;
+    return s;
+}
+
+TEST(LazyClean, DataCleansLagTheWrites)
+{
+    // With cleanLagBlocks = L, the first data clean may only appear
+    // after L data writes have been issued.
+    QueryProfile p = findProfile("hashmap");
+    p.cleanLagBlocks = 50;
+    p.hotWrites = 0;
+    SyntheticWorkload w(p, space(), 1, 3);
+
+    unsigned data_writes = 0;
+    std::set<Addr> logged;
+    for (int i = 0; i < 30000; ++i) {
+        const TraceOp op = w.next(0);
+        if (op.kind == TraceOp::Kind::Store && op.isPm) {
+            // Log stores hit the top-of-PM log region.
+            if (op.addr < space().pmBase + (490ull << 20))
+                ++data_writes;
+        } else if (op.kind == TraceOp::Kind::Clean && op.isPm &&
+                   op.addr < space().pmBase + (490ull << 20)) {
+            // First data clean: at least L data writes must precede it.
+            EXPECT_GE(data_writes, 50u);
+            return;
+        }
+    }
+    FAIL() << "no data clean observed";
+}
+
+TEST(LazyClean, EveryDataWriteIsEventuallyCleaned)
+{
+    QueryProfile p = findProfile("ycsb");
+    p.cleanLagBlocks = 20;
+    p.hotWrites = 0;
+    p.writeRowLocality = 0.0; // distinct addresses for exact matching
+    SyntheticWorkload w(p, space(), 1, 7);
+
+    std::map<Addr, int> pending; // written, not yet cleaned
+    unsigned writes_seen = 0;
+    const Addr data_top = space().pmBase + (490ull << 20);
+    for (int i = 0; i < 60000 && writes_seen < 300; ++i) {
+        const TraceOp op = w.next(0);
+        if (op.kind == TraceOp::Kind::Store && op.isPm &&
+            op.addr < data_top) {
+            ++pending[op.addr];
+            ++writes_seen;
+        } else if (op.kind == TraceOp::Kind::Clean && op.isPm &&
+                   op.addr < data_top) {
+            auto it = pending.find(op.addr);
+            ASSERT_NE(it, pending.end())
+                << "clean of a never-written block";
+            if (--it->second == 0)
+                pending.erase(it);
+        }
+    }
+    // The in-flight window is bounded by the lag.
+    EXPECT_LE(pending.size(), 21u);
+}
+
+TEST(HotWrites, HotBlocksRepeatWithinASmallSet)
+{
+    QueryProfile p = findProfile("btree");
+    p.pmWrites = 0; // isolate the hot stream
+    p.atlasLogging = false;
+    SyntheticWorkload w(p, space(), 1, 9);
+
+    std::set<Addr> hot_addrs;
+    unsigned hot_stores = 0;
+    for (int i = 0; i < 20000 && hot_stores < 100; ++i) {
+        const TraceOp op = w.next(0);
+        if (op.kind == TraceOp::Kind::Store && op.isPm) {
+            hot_addrs.insert(op.addr);
+            ++hot_stores;
+        }
+    }
+    ASSERT_GE(hot_stores, 100u);
+    EXPECT_LE(hot_addrs.size(), 8u); // the per-core hot set
+}
+
+TEST(HotWrites, HotBlocksAreLoggedWhenAtlasOn)
+{
+    QueryProfile p = findProfile("water");
+    p.pmWrites = 0;
+    SyntheticWorkload w(p, space(), 1, 11);
+    // With logging on, hot stores alternate with log stores: stores to
+    // the log region must appear.
+    const Addr log_floor = space().pmBase + (490ull << 20);
+    bool saw_log = false, saw_hot = false;
+    for (int i = 0; i < 5000; ++i) {
+        const TraceOp op = w.next(0);
+        if (op.kind != TraceOp::Kind::Store || !op.isPm)
+            continue;
+        (op.addr >= log_floor ? saw_log : saw_hot) = true;
+        if (saw_log && saw_hot)
+            break;
+    }
+    EXPECT_TRUE(saw_log);
+    EXPECT_TRUE(saw_hot);
+}
+
+TEST(HotWrites, OccasionalHotCleanEmitted)
+{
+    QueryProfile p = findProfile("barnes");
+    SyntheticWorkload w(p, space(), 1, 13);
+    const Addr data_top = space().pmBase + (490ull << 20);
+    std::set<Addr> hot_candidates;
+    // Collect the hot set first (stores repeating quickly).
+    std::map<Addr, int> counts;
+    bool hot_cleaned = false;
+    for (int i = 0; i < 300000 && !hot_cleaned; ++i) {
+        const TraceOp op = w.next(0);
+        if (op.kind == TraceOp::Kind::Store && op.isPm &&
+            op.addr < data_top) {
+            if (++counts[op.addr] > 3)
+                hot_candidates.insert(op.addr);
+        }
+        if (op.kind == TraceOp::Kind::Clean && op.isPm &&
+            hot_candidates.count(op.addr))
+            hot_cleaned = true;
+    }
+    EXPECT_TRUE(hot_cleaned);
+}
+
+} // namespace
+} // namespace nvck

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hh"
+
+namespace nvck {
+namespace {
+
+TEST(Profiles, TenWhisperSixSplash)
+{
+    EXPECT_EQ(whisperProfiles().size(), 10u);
+    EXPECT_EQ(splashProfiles().size(), 6u);
+    EXPECT_EQ(allBenchmarkNames().size(), 16u);
+}
+
+TEST(Profiles, NamesMatchPaperFigures)
+{
+    for (const char *name :
+         {"echo", "memcached", "redis", "ctree", "btree", "rbtree",
+          "hashmap", "tpcc", "vacation", "ycsb", "barnes", "fmm",
+          "ocean", "radix", "raytrace", "water"}) {
+        EXPECT_EQ(findProfile(name).name, name);
+    }
+}
+
+TEST(Profiles, WriteOnlyQueryBenchmarks)
+{
+    // Section VII: hashmap, ctree, btree, rbtree perform only write
+    // queries (every query mutates persistent state).
+    for (const char *name : {"hashmap", "ctree", "btree", "rbtree"}) {
+        const auto &p = findProfile(name);
+        EXPECT_GE(p.pmWrites, 2u) << name;
+        EXPECT_EQ(p.networkDelayNs, 0) << name;
+    }
+}
+
+TEST(Profiles, TreesArePointerChasers)
+{
+    for (const char *name : {"ctree", "btree", "rbtree"}) {
+        const auto &p = findProfile(name);
+        EXPECT_EQ(p.pmReadPattern, AccessPattern::Chase) << name;
+        EXPECT_EQ(p.mlp, 1u) << name;
+    }
+}
+
+TEST(Profiles, NetworkBoundKvStores)
+{
+    for (const char *name : {"echo", "memcached", "redis", "vacation"}) {
+        EXPECT_GT(findProfile(name).networkDelayNs, 0) << name;
+    }
+}
+
+TEST(Profiles, HashmapIsTheWriteStressor)
+{
+    // Section VII: hashmap stresses the proposal hardest — the lowest
+    // data-write locality among the write-only benchmarks and extra
+    // hot-metadata updates per query.
+    const auto &hashmap = findProfile("hashmap");
+    for (const char *tree : {"ctree", "btree", "rbtree"})
+        EXPECT_LT(hashmap.writeRowLocality,
+                  findProfile(tree).writeRowLocality);
+    EXPECT_GE(hashmap.hotWrites, 2u);
+}
+
+TEST(Profiles, SplashAreFlopsWorkloads)
+{
+    for (const auto &p : splashProfiles()) {
+        EXPECT_TRUE(p.flops) << p.name;
+        EXPECT_GT(p.flopFraction, 0.0) << p.name;
+        EXPECT_GE(p.gapMean, 40u) << p.name; // compute-dense
+    }
+}
+
+TEST(Profiles, AllPersistentWorkloadsLog)
+{
+    for (const auto &name : allBenchmarkNames())
+        EXPECT_TRUE(findProfile(name).atlasLogging) << name;
+}
+
+TEST(Profiles, UnknownNameDies)
+{
+    EXPECT_EXIT(findProfile("nosuchbench"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+} // namespace
+} // namespace nvck

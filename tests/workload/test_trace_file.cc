@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/synthetic.hh"
+#include "workload/trace_file.hh"
+
+namespace nvck {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "nvck_trace_" + tag +
+           ".bin";
+}
+
+AddressSpace
+space()
+{
+    AddressSpace s;
+    s.pmBytes = 512ull << 20;
+    s.dramBytes = 256ull << 20;
+    return s;
+}
+
+TEST(TraceFile, RoundTripPreservesOps)
+{
+    const std::string path = tempPath("roundtrip");
+    auto source = makeWorkload("tpcc", space(), 2, 5);
+    TraceWriter::capture(*source, path, 2, 500);
+
+    // Regenerate the identical stream and compare against replay.
+    auto reference = makeWorkload("tpcc", space(), 2, 5);
+    TraceReplayWorkload replay(path, 8);
+    ASSERT_EQ(replay.cores(), 2u);
+    EXPECT_EQ(replay.totalOps(), 1000u);
+    for (unsigned core = 0; core < 2; ++core) {
+        for (int i = 0; i < 500; ++i) {
+            const TraceOp want = reference->next(core);
+            const TraceOp got = replay.next(core);
+            ASSERT_EQ(static_cast<int>(got.kind),
+                      static_cast<int>(want.kind))
+                << "core " << core << " op " << i;
+            ASSERT_EQ(got.addr, want.addr);
+            ASSERT_EQ(got.isPm, want.isPm);
+            ASSERT_EQ(got.gap, std::min(want.gap, 0xFFFFu));
+            ASSERT_NEAR(got.idleNs, want.idleNs, 0.0625);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayLoopsForever)
+{
+    const std::string path = tempPath("loop");
+    auto source = makeWorkload("echo", space(), 1, 9);
+    TraceWriter::capture(*source, path, 1, 50);
+
+    TraceReplayWorkload replay(path);
+    const TraceOp first = replay.next(0);
+    for (int i = 0; i < 49; ++i)
+        replay.next(0);
+    const TraceOp wrapped = replay.next(0);
+    EXPECT_EQ(wrapped.addr, first.addr);
+    EXPECT_EQ(static_cast<int>(wrapped.kind),
+              static_cast<int>(first.kind));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsGarbageFile)
+{
+    const std::string path = tempPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a trace", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReplayWorkload bad(path),
+                ::testing::ExitedWithCode(1), "not a nvchipkill trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReplayWorkload bad("/nonexistent/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, WriterCountsRecords)
+{
+    const std::string path = tempPath("count");
+    {
+        TraceWriter writer(path, 1);
+        TraceOp op;
+        op.kind = TraceOp::Kind::Load;
+        op.addr = 0x1234;
+        for (int i = 0; i < 7; ++i)
+            writer.append(0, op);
+        EXPECT_EQ(writer.records(), 7u);
+    }
+    TraceReplayWorkload replay(path);
+    EXPECT_EQ(replay.totalOps(), 7u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nvck
