@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix_sdc"
+  "../bench/bench_appendix_sdc.pdb"
+  "CMakeFiles/bench_appendix_sdc.dir/bench_appendix_sdc.cc.o"
+  "CMakeFiles/bench_appendix_sdc.dir/bench_appendix_sdc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

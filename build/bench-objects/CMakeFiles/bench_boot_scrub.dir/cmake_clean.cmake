@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_boot_scrub"
+  "../bench/bench_boot_scrub.pdb"
+  "CMakeFiles/bench_boot_scrub.dir/bench_boot_scrub.cc.o"
+  "CMakeFiles/bench_boot_scrub.dir/bench_boot_scrub.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boot_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fault_sweep"
+  "../bench/bench_fault_sweep.pdb"
+  "CMakeFiles/bench_fault_sweep.dir/bench_fault_sweep.cc.o"
+  "CMakeFiles/bench_fault_sweep.dir/bench_fault_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

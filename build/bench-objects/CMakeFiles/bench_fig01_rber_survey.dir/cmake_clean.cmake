@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_rber_survey"
+  "../bench/bench_fig01_rber_survey.pdb"
+  "CMakeFiles/bench_fig01_rber_survey.dir/bench_fig01_rber_survey.cc.o"
+  "CMakeFiles/bench_fig01_rber_survey.dir/bench_fig01_rber_survey.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_rber_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_flash_ecc"
+  "../bench/bench_fig03_flash_ecc.pdb"
+  "CMakeFiles/bench_fig03_flash_ecc.dir/bench_fig03_flash_ecc.cc.o"
+  "CMakeFiles/bench_fig03_flash_ecc.dir/bench_fig03_flash_ecc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_flash_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

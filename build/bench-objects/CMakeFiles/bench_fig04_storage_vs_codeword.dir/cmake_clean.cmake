@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_storage_vs_codeword"
+  "../bench/bench_fig04_storage_vs_codeword.pdb"
+  "CMakeFiles/bench_fig04_storage_vs_codeword.dir/bench_fig04_storage_vs_codeword.cc.o"
+  "CMakeFiles/bench_fig04_storage_vs_codeword.dir/bench_fig04_storage_vs_codeword.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_storage_vs_codeword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

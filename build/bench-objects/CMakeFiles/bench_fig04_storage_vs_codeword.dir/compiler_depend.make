@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig04_storage_vs_codeword.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_storage_vs_codeword.
+# This may be replaced when dependencies are built.

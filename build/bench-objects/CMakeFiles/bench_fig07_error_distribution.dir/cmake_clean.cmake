@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_error_distribution"
+  "../bench/bench_fig07_error_distribution.pdb"
+  "CMakeFiles/bench_fig07_error_distribution.dir/bench_fig07_error_distribution.cc.o"
+  "CMakeFiles/bench_fig07_error_distribution.dir/bench_fig07_error_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_error_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

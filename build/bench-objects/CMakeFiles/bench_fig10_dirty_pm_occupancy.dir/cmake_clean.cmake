@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_dirty_pm_occupancy"
+  "../bench/bench_fig10_dirty_pm_occupancy.pdb"
+  "CMakeFiles/bench_fig10_dirty_pm_occupancy.dir/bench_fig10_dirty_pm_occupancy.cc.o"
+  "CMakeFiles/bench_fig10_dirty_pm_occupancy.dir/bench_fig10_dirty_pm_occupancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dirty_pm_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_cfactor"
+  "../bench/bench_fig15_cfactor.pdb"
+  "CMakeFiles/bench_fig15_cfactor.dir/bench_fig15_cfactor.cc.o"
+  "CMakeFiles/bench_fig15_cfactor.dir/bench_fig15_cfactor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_perf_reram"
+  "../bench/bench_fig16_perf_reram.pdb"
+  "CMakeFiles/bench_fig16_perf_reram.dir/bench_fig16_perf_reram.cc.o"
+  "CMakeFiles/bench_fig16_perf_reram.dir/bench_fig16_perf_reram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_perf_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

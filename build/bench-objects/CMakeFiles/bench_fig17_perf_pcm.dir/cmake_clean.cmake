@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_perf_pcm"
+  "../bench/bench_fig17_perf_pcm.pdb"
+  "CMakeFiles/bench_fig17_perf_pcm.dir/bench_fig17_perf_pcm.cc.o"
+  "CMakeFiles/bench_fig17_perf_pcm.dir/bench_fig17_perf_pcm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_perf_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

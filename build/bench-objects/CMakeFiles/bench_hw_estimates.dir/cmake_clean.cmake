@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hw_estimates"
+  "../bench/bench_hw_estimates.pdb"
+  "CMakeFiles/bench_hw_estimates.dir/bench_hw_estimates.cc.o"
+  "CMakeFiles/bench_hw_estimates.dir/bench_hw_estimates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_refresh_tradeoff.cc" "bench-objects/CMakeFiles/bench_refresh_tradeoff.dir/bench_refresh_tradeoff.cc.o" "gcc" "bench-objects/CMakeFiles/bench_refresh_tradeoff.dir/bench_refresh_tradeoff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nvck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chipkill/CMakeFiles/nvck_chipkill.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nvck_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nvck_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvck_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nvck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/nvck_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/nvck_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/nvck_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_refresh_tradeoff"
+  "../bench/bench_refresh_tradeoff.pdb"
+  "CMakeFiles/bench_refresh_tradeoff.dir/bench_refresh_tradeoff.cc.o"
+  "CMakeFiles/bench_refresh_tradeoff.dir/bench_refresh_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refresh_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_runtime_correction"
+  "../bench/bench_runtime_correction.pdb"
+  "CMakeFiles/bench_runtime_correction.dir/bench_runtime_correction.cc.o"
+  "CMakeFiles/bench_runtime_correction.dir/bench_runtime_correction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

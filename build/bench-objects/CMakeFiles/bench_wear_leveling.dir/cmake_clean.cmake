@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wear_leveling"
+  "../bench/bench_wear_leveling.pdb"
+  "CMakeFiles/bench_wear_leveling.dir/bench_wear_leveling.cc.o"
+  "CMakeFiles/bench_wear_leveling.dir/bench_wear_leveling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

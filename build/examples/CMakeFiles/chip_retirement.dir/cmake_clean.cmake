@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_retirement.dir/chip_retirement.cpp.o"
+  "CMakeFiles/chip_retirement.dir/chip_retirement.cpp.o.d"
+  "chip_retirement"
+  "chip_retirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_retirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_recovery.dir/outage_recovery.cpp.o"
+  "CMakeFiles/outage_recovery.dir/outage_recovery.cpp.o.d"
+  "outage_recovery"
+  "outage_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_kvstore.dir/pm_kvstore.cpp.o"
+  "CMakeFiles/pm_kvstore.dir/pm_kvstore.cpp.o.d"
+  "pm_kvstore"
+  "pm_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_workload.dir/simulate_workload.cpp.o"
+  "CMakeFiles/simulate_workload.dir/simulate_workload.cpp.o.d"
+  "simulate_workload"
+  "simulate_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_cache.dir/cache.cc.o"
+  "CMakeFiles/nvck_cache.dir/cache.cc.o.d"
+  "CMakeFiles/nvck_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/nvck_cache.dir/hierarchy.cc.o.d"
+  "libnvck_cache.a"
+  "libnvck_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chipkill/degraded.cc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/degraded.cc.o" "gcc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/degraded.cc.o.d"
+  "/root/repo/src/chipkill/pm_rank.cc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/pm_rank.cc.o" "gcc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/pm_rank.cc.o.d"
+  "/root/repo/src/chipkill/schemes.cc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/schemes.cc.o" "gcc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/schemes.cc.o.d"
+  "/root/repo/src/chipkill/wear.cc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/wear.cc.o" "gcc" "src/chipkill/CMakeFiles/nvck_chipkill.dir/wear.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecc/CMakeFiles/nvck_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/nvck_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/nvck_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

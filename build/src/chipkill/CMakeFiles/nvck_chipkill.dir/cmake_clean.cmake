@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_chipkill.dir/degraded.cc.o"
+  "CMakeFiles/nvck_chipkill.dir/degraded.cc.o.d"
+  "CMakeFiles/nvck_chipkill.dir/pm_rank.cc.o"
+  "CMakeFiles/nvck_chipkill.dir/pm_rank.cc.o.d"
+  "CMakeFiles/nvck_chipkill.dir/schemes.cc.o"
+  "CMakeFiles/nvck_chipkill.dir/schemes.cc.o.d"
+  "CMakeFiles/nvck_chipkill.dir/wear.cc.o"
+  "CMakeFiles/nvck_chipkill.dir/wear.cc.o.d"
+  "libnvck_chipkill.a"
+  "libnvck_chipkill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_chipkill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

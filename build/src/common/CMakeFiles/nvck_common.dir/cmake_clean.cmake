@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_common.dir/bitvec.cc.o"
+  "CMakeFiles/nvck_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/nvck_common.dir/event.cc.o"
+  "CMakeFiles/nvck_common.dir/event.cc.o.d"
+  "CMakeFiles/nvck_common.dir/log.cc.o"
+  "CMakeFiles/nvck_common.dir/log.cc.o.d"
+  "CMakeFiles/nvck_common.dir/rng.cc.o"
+  "CMakeFiles/nvck_common.dir/rng.cc.o.d"
+  "CMakeFiles/nvck_common.dir/stats.cc.o"
+  "CMakeFiles/nvck_common.dir/stats.cc.o.d"
+  "CMakeFiles/nvck_common.dir/table.cc.o"
+  "CMakeFiles/nvck_common.dir/table.cc.o.d"
+  "libnvck_common.a"
+  "libnvck_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_cpu.dir/core.cc.o"
+  "CMakeFiles/nvck_cpu.dir/core.cc.o.d"
+  "libnvck_cpu.a"
+  "libnvck_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

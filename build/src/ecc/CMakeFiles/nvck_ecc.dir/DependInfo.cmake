@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cc" "src/ecc/CMakeFiles/nvck_ecc.dir/bch.cc.o" "gcc" "src/ecc/CMakeFiles/nvck_ecc.dir/bch.cc.o.d"
+  "/root/repo/src/ecc/code_params.cc" "src/ecc/CMakeFiles/nvck_ecc.dir/code_params.cc.o" "gcc" "src/ecc/CMakeFiles/nvck_ecc.dir/code_params.cc.o.d"
+  "/root/repo/src/ecc/crc.cc" "src/ecc/CMakeFiles/nvck_ecc.dir/crc.cc.o" "gcc" "src/ecc/CMakeFiles/nvck_ecc.dir/crc.cc.o.d"
+  "/root/repo/src/ecc/rs.cc" "src/ecc/CMakeFiles/nvck_ecc.dir/rs.cc.o" "gcc" "src/ecc/CMakeFiles/nvck_ecc.dir/rs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/nvck_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

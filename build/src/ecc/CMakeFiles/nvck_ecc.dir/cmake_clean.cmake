@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_ecc.dir/bch.cc.o"
+  "CMakeFiles/nvck_ecc.dir/bch.cc.o.d"
+  "CMakeFiles/nvck_ecc.dir/code_params.cc.o"
+  "CMakeFiles/nvck_ecc.dir/code_params.cc.o.d"
+  "CMakeFiles/nvck_ecc.dir/crc.cc.o"
+  "CMakeFiles/nvck_ecc.dir/crc.cc.o.d"
+  "CMakeFiles/nvck_ecc.dir/rs.cc.o"
+  "CMakeFiles/nvck_ecc.dir/rs.cc.o.d"
+  "libnvck_ecc.a"
+  "libnvck_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

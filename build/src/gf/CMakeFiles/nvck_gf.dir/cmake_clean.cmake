@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_gf.dir/binpoly.cc.o"
+  "CMakeFiles/nvck_gf.dir/binpoly.cc.o.d"
+  "CMakeFiles/nvck_gf.dir/gf2m.cc.o"
+  "CMakeFiles/nvck_gf.dir/gf2m.cc.o.d"
+  "CMakeFiles/nvck_gf.dir/gfpoly.cc.o"
+  "CMakeFiles/nvck_gf.dir/gfpoly.cc.o.d"
+  "libnvck_gf.a"
+  "libnvck_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

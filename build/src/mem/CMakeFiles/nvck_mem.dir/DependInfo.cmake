@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/controller.cc" "src/mem/CMakeFiles/nvck_mem.dir/controller.cc.o" "gcc" "src/mem/CMakeFiles/nvck_mem.dir/controller.cc.o.d"
+  "/root/repo/src/mem/eur.cc" "src/mem/CMakeFiles/nvck_mem.dir/eur.cc.o" "gcc" "src/mem/CMakeFiles/nvck_mem.dir/eur.cc.o.d"
+  "/root/repo/src/mem/timing.cc" "src/mem/CMakeFiles/nvck_mem.dir/timing.cc.o" "gcc" "src/mem/CMakeFiles/nvck_mem.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_mem.dir/controller.cc.o"
+  "CMakeFiles/nvck_mem.dir/controller.cc.o.d"
+  "CMakeFiles/nvck_mem.dir/eur.cc.o"
+  "CMakeFiles/nvck_mem.dir/eur.cc.o.d"
+  "CMakeFiles/nvck_mem.dir/timing.cc.o"
+  "CMakeFiles/nvck_mem.dir/timing.cc.o.d"
+  "libnvck_mem.a"
+  "libnvck_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

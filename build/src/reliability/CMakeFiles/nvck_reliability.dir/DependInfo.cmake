@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/binomial.cc" "src/reliability/CMakeFiles/nvck_reliability.dir/binomial.cc.o" "gcc" "src/reliability/CMakeFiles/nvck_reliability.dir/binomial.cc.o.d"
+  "/root/repo/src/reliability/error_model.cc" "src/reliability/CMakeFiles/nvck_reliability.dir/error_model.cc.o" "gcc" "src/reliability/CMakeFiles/nvck_reliability.dir/error_model.cc.o.d"
+  "/root/repo/src/reliability/injector.cc" "src/reliability/CMakeFiles/nvck_reliability.dir/injector.cc.o" "gcc" "src/reliability/CMakeFiles/nvck_reliability.dir/injector.cc.o.d"
+  "/root/repo/src/reliability/sdc_model.cc" "src/reliability/CMakeFiles/nvck_reliability.dir/sdc_model.cc.o" "gcc" "src/reliability/CMakeFiles/nvck_reliability.dir/sdc_model.cc.o.d"
+  "/root/repo/src/reliability/storage_model.cc" "src/reliability/CMakeFiles/nvck_reliability.dir/storage_model.cc.o" "gcc" "src/reliability/CMakeFiles/nvck_reliability.dir/storage_model.cc.o.d"
+  "/root/repo/src/reliability/ue_model.cc" "src/reliability/CMakeFiles/nvck_reliability.dir/ue_model.cc.o" "gcc" "src/reliability/CMakeFiles/nvck_reliability.dir/ue_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecc/CMakeFiles/nvck_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/nvck_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

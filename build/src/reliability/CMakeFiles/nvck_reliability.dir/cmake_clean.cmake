@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_reliability.dir/binomial.cc.o"
+  "CMakeFiles/nvck_reliability.dir/binomial.cc.o.d"
+  "CMakeFiles/nvck_reliability.dir/error_model.cc.o"
+  "CMakeFiles/nvck_reliability.dir/error_model.cc.o.d"
+  "CMakeFiles/nvck_reliability.dir/injector.cc.o"
+  "CMakeFiles/nvck_reliability.dir/injector.cc.o.d"
+  "CMakeFiles/nvck_reliability.dir/sdc_model.cc.o"
+  "CMakeFiles/nvck_reliability.dir/sdc_model.cc.o.d"
+  "CMakeFiles/nvck_reliability.dir/storage_model.cc.o"
+  "CMakeFiles/nvck_reliability.dir/storage_model.cc.o.d"
+  "CMakeFiles/nvck_reliability.dir/ue_model.cc.o"
+  "CMakeFiles/nvck_reliability.dir/ue_model.cc.o.d"
+  "libnvck_reliability.a"
+  "libnvck_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_sim.dir/configs.cc.o"
+  "CMakeFiles/nvck_sim.dir/configs.cc.o.d"
+  "CMakeFiles/nvck_sim.dir/experiment.cc.o"
+  "CMakeFiles/nvck_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/nvck_sim.dir/system.cc.o"
+  "CMakeFiles/nvck_sim.dir/system.cc.o.d"
+  "libnvck_sim.a"
+  "libnvck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvck_workload.dir/profiles.cc.o"
+  "CMakeFiles/nvck_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/nvck_workload.dir/synthetic.cc.o"
+  "CMakeFiles/nvck_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/nvck_workload.dir/trace_file.cc.o"
+  "CMakeFiles/nvck_workload.dir/trace_file.cc.o.d"
+  "libnvck_workload.a"
+  "libnvck_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvck_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvck_workload.a"
+)

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chipkill.dir/chipkill/test_bus_crc.cc.o"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_bus_crc.cc.o.d"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_degraded.cc.o"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_degraded.cc.o.d"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_pm_rank.cc.o"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_pm_rank.cc.o.d"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_pm_rank_properties.cc.o"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_pm_rank_properties.cc.o.d"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_schemes.cc.o"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_schemes.cc.o.d"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_wear.cc.o"
+  "CMakeFiles/test_chipkill.dir/chipkill/test_wear.cc.o.d"
+  "test_chipkill"
+  "test_chipkill.pdb"
+  "test_chipkill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chipkill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc.dir/ecc/test_bch.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_bch.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_bch_properties.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_bch_properties.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_code_params.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_code_params.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_crc.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_crc.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_rs.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_rs.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_rs_statistics.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_rs_statistics.cc.o.d"
+  "test_ecc"
+  "test_ecc.pdb"
+  "test_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

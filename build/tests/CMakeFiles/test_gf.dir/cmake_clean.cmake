@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf.dir/gf/test_binpoly.cc.o"
+  "CMakeFiles/test_gf.dir/gf/test_binpoly.cc.o.d"
+  "CMakeFiles/test_gf.dir/gf/test_gf2m.cc.o"
+  "CMakeFiles/test_gf.dir/gf/test_gf2m.cc.o.d"
+  "CMakeFiles/test_gf.dir/gf/test_gfpoly.cc.o"
+  "CMakeFiles/test_gf.dir/gf/test_gfpoly.cc.o.d"
+  "test_gf"
+  "test_gf.pdb"
+  "test_gf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

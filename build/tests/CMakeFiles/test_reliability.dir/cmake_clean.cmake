@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliability.dir/reliability/test_binomial.cc.o"
+  "CMakeFiles/test_reliability.dir/reliability/test_binomial.cc.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/test_error_model.cc.o"
+  "CMakeFiles/test_reliability.dir/reliability/test_error_model.cc.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/test_injector.cc.o"
+  "CMakeFiles/test_reliability.dir/reliability/test_injector.cc.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/test_sdc_model.cc.o"
+  "CMakeFiles/test_reliability.dir/reliability/test_sdc_model.cc.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/test_storage_model.cc.o"
+  "CMakeFiles/test_reliability.dir/reliability/test_storage_model.cc.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/test_ue_model.cc.o"
+  "CMakeFiles/test_reliability.dir/reliability/test_ue_model.cc.o.d"
+  "test_reliability"
+  "test_reliability.pdb"
+  "test_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
