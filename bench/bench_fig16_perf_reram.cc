@@ -4,12 +4,17 @@
  * baseline under ReRAM latencies (tRCD 120ns, tWR 300ns). The paper
  * reports a 1.4% average overhead; IPC for WHISPER workloads, FLOPS
  * for SPLASH.
+ *
+ * Workloads run as independent work items on the parallel experiment
+ * engine (NVCK_JOBS=1 opts out); results print in submission order so
+ * the table matches the serial run byte for byte.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
 #include "common/table.hh"
+#include "sim/parallel.hh"
 #include "workload/profiles.hh"
 
 using namespace nvck;
@@ -21,17 +26,20 @@ main()
            "performance normalized to baseline, ReRAM latencies");
 
     const auto rc = benchRunControl();
+    const auto names = allBenchmarkNames();
+    const auto results = runAbSweep(PmTech::Reram, names, 1, rc);
+
     Table t({"workload", "metric", "baseline", "proposal", "normalized",
              "C"});
     double sum = 0.0;
     unsigned count = 0;
-    for (const auto &name : allBenchmarkNames()) {
-        const auto base = runBaseline(PmTech::Reram, name, 1, rc);
-        const auto prop = runProposal(PmTech::Reram, name, 1, rc);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &base = results[i].baseline;
+        const auto &prop = results[i].proposal;
         const double rel = prop.perf / base.perf;
         t.row()
-            .cell(name)
-            .cell(findProfile(name).flops ? "MFLOPS" : "IPC")
+            .cell(names[i])
+            .cell(findProfile(names[i]).flops ? "MFLOPS" : "IPC")
             .cell(base.perf, 4)
             .cell(prop.perf, 4)
             .cell(rel, 4)

@@ -6,6 +6,33 @@
 
 namespace nvck {
 
+void
+Rng::jump()
+{
+    // Official xoshiro256** jump polynomial (Blackman & Vigna):
+    // equivalent to 2^128 next() calls.
+    static const std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+        0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (1ull << b)) {
+                s0 ^= state[0];
+                s1 ^= state[1];
+                s2 ^= state[2];
+                s3 ^= state[3];
+            }
+            next();
+        }
+    }
+    state[0] = s0;
+    state[1] = s1;
+    state[2] = s2;
+    state[3] = s3;
+}
+
 std::uint64_t
 Rng::geometric(double p)
 {

@@ -22,16 +22,45 @@ class Rng
   public:
     /** Seed via SplitMix64 expansion of a single 64-bit seed. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : seed0(seed)
     {
         std::uint64_t x = seed;
-        for (auto &word : state) {
-            x += 0x9e3779b97f4a7c15ull;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            word = z ^ (z >> 31);
-        }
+        for (auto &word : state)
+            word = splitmix64(x);
     }
+
+    /**
+     * Derive the reproducible, statistically independent substream for
+     * @p index. The subseed is a pure function of (construction seed,
+     * index) — it ignores how far this generator has advanced — so
+     * trial i gets the same stream whether trials run serially or
+     * scattered across worker threads. Used by the parallel experiment
+     * engine to give every (baseSeed, trialIndex) its own generator.
+     */
+    Rng
+    substream(std::uint64_t index) const
+    {
+        return Rng(substreamSeed(seed0, index));
+    }
+
+    /** The (seed, index) -> subseed derivation behind substream(). */
+    static std::uint64_t
+    substreamSeed(std::uint64_t seed, std::uint64_t index)
+    {
+        // Golden-ratio-spaced SplitMix64 positions, finalized twice so
+        // nearby indices land in unrelated states. The +1 keeps
+        // substream(0) distinct from the parent stream itself.
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+        z = mix64(z);
+        return mix64(z ^ 0xd1b54a32d192ed03ull);
+    }
+
+    /**
+     * Advance 2^128 steps (the xoshiro256** jump polynomial): repeated
+     * jumps carve one seed into provably non-overlapping blocks of
+     * 2^128 draws each.
+     */
+    void jump();
 
     /** Next raw 64-bit value. */
     std::uint64_t
@@ -91,6 +120,24 @@ class Rng
         return (x << k) | (x >> (64 - k));
     }
 
+    /** SplitMix64 finalizer (Steele, Lea & Flood). */
+    static std::uint64_t
+    mix64(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** One SplitMix64 step: advance @p x and return the next output. */
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        return mix64(x);
+    }
+
+    std::uint64_t seed0;
     std::uint64_t state[4];
 };
 

@@ -24,9 +24,27 @@ Histogram::reset()
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.counts.size() > counts.size())
+        counts.resize(other.counts.size(), 0);
+    for (std::size_t i = 0; i < other.counts.size(); ++i)
+        counts[i] += other.counts[i];
+    overflow += other.overflow;
+    total += other.total;
+}
+
+void
 StatGroup::record(const std::string &stat, double value)
 {
     scalars[stat] = value;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[stat, value] : other.scalars)
+        scalars[stat] += value;
 }
 
 void

@@ -84,6 +84,13 @@ class Histogram
 
     void reset();
 
+    /**
+     * Fold another histogram's counts into this one (grows to the wider
+     * bucket range). Pure addition, so merging per-worker histograms in
+     * any order reproduces the serial result exactly.
+     */
+    void merge(const Histogram &other);
+
   private:
     std::vector<std::uint64_t> counts;
     std::uint64_t overflow = 0;
@@ -102,6 +109,13 @@ class StatGroup
 
     /** Record a scalar for dumping. */
     void record(const std::string &stat, double value);
+
+    /**
+     * Fold another group's scalars into this one by summation (absent
+     * keys are adopted). Lets the experiment engine keep one StatGroup
+     * per worker and combine them after the batch barrier.
+     */
+    void merge(const StatGroup &other);
 
     /** Print "group.stat value" lines. */
     void dump(std::ostream &os) const;

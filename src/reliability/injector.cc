@@ -6,11 +6,45 @@
 
 namespace nvck {
 
+namespace {
+
+/**
+ * Trials per work item. Fixed (never derived from the worker count) so
+ * the chunk decomposition — and therefore the merged report — is
+ * identical no matter how many threads execute it.
+ */
+constexpr std::uint64_t kTrialsPerChunk = 512;
+
+/**
+ * Run @p perTrial over [0, trials) in fixed-size chunks on @p pool and
+ * merge the per-chunk partial reports in submission order.
+ */
+template <typename PerTrial>
 InjectionReport
-injectRs(const RsCodec &codec, const RsCampaign &c)
+runCampaign(std::uint64_t trials, ThreadPool *pool, PerTrial perTrial)
 {
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    const std::uint64_t chunks =
+        (trials + kTrialsPerChunk - 1) / kTrialsPerChunk;
+    std::vector<InjectionReport> parts(chunks);
+    p.parallelFor(chunks, [&](std::size_t ci) {
+        const std::uint64_t lo = ci * kTrialsPerChunk;
+        const std::uint64_t hi =
+            lo + kTrialsPerChunk < trials ? lo + kTrialsPerChunk : trials;
+        for (std::uint64_t trial = lo; trial < hi; ++trial)
+            perTrial(trial, parts[ci]);
+    });
     InjectionReport report;
-    Rng rng(c.seed);
+    for (const auto &part : parts)
+        report.merge(part);
+    return report;
+}
+
+} // namespace
+
+InjectionReport
+injectRs(const RsCodec &codec, const RsCampaign &c, ThreadPool *pool)
+{
     const unsigned n = codec.n();
     const unsigned m = codec.field().m();
     NVCK_ASSERT(m == 8, "RS injection assumes byte symbols");
@@ -31,90 +65,93 @@ injectRs(const RsCodec &codec, const RsCampaign &c)
         }
     }
 
-    std::vector<GfElem> data(codec.k());
-    for (std::uint64_t trial = 0; trial < c.trials; ++trial) {
-        for (auto &sym : data)
-            sym = static_cast<GfElem>(rng.next() & 0xFF);
-        const auto clean = codec.encode(data);
-        auto noisy = clean;
+    const Rng base(c.seed);
+    return runCampaign(
+        c.trials, pool,
+        [&](std::uint64_t trial, InjectionReport &report) {
+            Rng rng = base.substream(trial);
+            std::vector<GfElem> data(codec.k());
+            for (auto &sym : data)
+                sym = static_cast<GfElem>(rng.next() & 0xFF);
+            const auto clean = codec.encode(data);
+            auto noisy = clean;
 
-        // Random bit errors across the whole codeword.
-        std::uint64_t injected_symbols = 0;
-        for (unsigned s = 0; s < n; ++s) {
-            GfElem flip = 0;
-            for (unsigned b = 0; b < 8; ++b)
-                if (rng.chance(c.rber))
-                    flip |= 1u << b;
-            if (flip) {
-                noisy[s] ^= flip;
-                ++injected_symbols;
+            // Random bit errors across the whole codeword.
+            std::uint64_t injected_symbols = 0;
+            for (unsigned s = 0; s < n; ++s) {
+                GfElem flip = 0;
+                for (unsigned b = 0; b < 8; ++b)
+                    if (rng.chance(c.rber))
+                        flip |= 1u << b;
+                if (flip) {
+                    noisy[s] ^= flip;
+                    ++injected_symbols;
+                }
             }
-        }
-        // Chip failure: garble the failed chip's symbols entirely.
-        for (auto pos : erasures)
-            noisy[pos] = static_cast<GfElem>(rng.next() & 0xFF);
+            // Chip failure: garble the failed chip's symbols entirely.
+            for (auto pos : erasures)
+                noisy[pos] = static_cast<GfElem>(rng.next() & 0xFF);
 
-        report.errorCount.sample(
-            static_cast<std::size_t>(injected_symbols));
+            report.errorCount.sample(
+                static_cast<std::size_t>(injected_symbols));
 
-        const auto res = codec.decode(noisy, erasures, c.maxErrors);
-        ++report.trials;
-        switch (res.status) {
-          case DecodeStatus::Clean:
-            if (noisy == clean)
-                ++report.clean;
-            else
-                ++report.miscorrected; // errors formed another codeword
-            break;
-          case DecodeStatus::Corrected:
-            if (noisy == clean)
-                ++report.corrected;
-            else
-                ++report.miscorrected;
-            break;
-          case DecodeStatus::Uncorrectable:
-            ++report.detected;
-            break;
-        }
-    }
-    return report;
+            const auto res = codec.decode(noisy, erasures, c.maxErrors);
+            ++report.trials;
+            switch (res.status) {
+              case DecodeStatus::Clean:
+                if (noisy == clean)
+                    ++report.clean;
+                else
+                    ++report.miscorrected; // errors formed another codeword
+                break;
+              case DecodeStatus::Corrected:
+                if (noisy == clean)
+                    ++report.corrected;
+                else
+                    ++report.miscorrected;
+                break;
+              case DecodeStatus::Uncorrectable:
+                ++report.detected;
+                break;
+            }
+        });
 }
 
 InjectionReport
-injectBch(const BchCodec &codec, const BchCampaign &c)
+injectBch(const BchCodec &codec, const BchCampaign &c, ThreadPool *pool)
 {
-    InjectionReport report;
-    Rng rng(c.seed);
+    const Rng base(c.seed);
+    return runCampaign(
+        c.trials, pool,
+        [&](std::uint64_t trial, InjectionReport &report) {
+            Rng rng = base.substream(trial);
+            BitVec data(codec.k());
+            data.randomize(rng);
+            const BitVec clean = codec.encode(data);
+            BitVec noisy = clean;
+            const std::size_t injected = noisy.injectErrors(rng, c.rber);
+            report.errorCount.sample(injected);
 
-    BitVec data(codec.k());
-    for (std::uint64_t trial = 0; trial < c.trials; ++trial) {
-        data.randomize(rng);
-        const BitVec clean = codec.encode(data);
-        BitVec noisy = clean;
-        const std::size_t injected = noisy.injectErrors(rng, c.rber);
-        report.errorCount.sample(injected);
-
-        const auto res = codec.decode(noisy);
-        ++report.trials;
-        switch (res.status) {
-          case DecodeStatus::Clean:
-            if (noisy == clean)
-                ++report.clean;
-            else
-                ++report.miscorrected;
-            break;
-          case DecodeStatus::Corrected:
-            if (noisy == clean)
-                ++report.corrected;
-            else
-                ++report.miscorrected;
-            break;
-          case DecodeStatus::Uncorrectable:
-            ++report.detected;
-            break;
-        }
-    }
-    return report;
+            const auto res = codec.decode(noisy);
+            ++report.trials;
+            switch (res.status) {
+              case DecodeStatus::Clean:
+                if (noisy == clean)
+                    ++report.clean;
+                else
+                    ++report.miscorrected;
+                break;
+              case DecodeStatus::Corrected:
+                if (noisy == clean)
+                    ++report.corrected;
+                else
+                    ++report.miscorrected;
+                break;
+              case DecodeStatus::Uncorrectable:
+                ++report.detected;
+                break;
+            }
+        });
 }
 
 } // namespace nvck

@@ -13,6 +13,7 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/threadpool.hh"
 #include "ecc/bch.hh"
 #include "ecc/rs.hh"
 
@@ -33,6 +34,22 @@ struct InjectionReport
     {
         return trials ? static_cast<double>(n) / trials : 0.0;
     }
+
+    /**
+     * Fold another report in (pure counter addition, so per-worker
+     * partial reports merge to the serial totals in any order).
+     */
+    void
+    merge(const InjectionReport &other)
+    {
+        trials += other.trials;
+        clean += other.clean;
+        corrected += other.corrected;
+        detected += other.detected;
+        miscorrected += other.miscorrected;
+        rejectedByCap += other.rejectedByCap;
+        errorCount.merge(other.errorCount);
+    }
 };
 
 /** Campaign settings for the per-block RS code. */
@@ -47,8 +64,13 @@ struct RsCampaign
     std::uint64_t seed = 1;
 };
 
-/** Run RS injection against a codec. */
-InjectionReport injectRs(const RsCodec &codec, const RsCampaign &c);
+/**
+ * Run RS injection against a codec. Trial i draws from the substream
+ * derived from (c.seed, i), so the report is identical for any worker
+ * count (NVCK_JOBS=1 included). @p pool defaults to the global pool.
+ */
+InjectionReport injectRs(const RsCodec &codec, const RsCampaign &c,
+                         ThreadPool *pool = nullptr);
 
 /** Campaign settings for a BCH codec (e.g. the VLEW). */
 struct BchCampaign
@@ -58,8 +80,10 @@ struct BchCampaign
     std::uint64_t seed = 1;
 };
 
-/** Run BCH injection against a codec. */
-InjectionReport injectBch(const BchCodec &codec, const BchCampaign &c);
+/** Run BCH injection against a codec (same determinism contract as
+ *  injectRs: per-trial substreams, worker-count independent). */
+InjectionReport injectBch(const BchCodec &codec, const BchCampaign &c,
+                          ThreadPool *pool = nullptr);
 
 } // namespace nvck
 

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Parallel experiment engine: fans independent experiment work items —
+ * (SystemConfig, RunControl) pairs for the figure benches, per-trial
+ * fault-injection campaigns in src/reliability/ — across the global
+ * work-stealing thread pool (common/threadpool.hh), collecting results
+ * in submission order so every output table is byte-identical to a
+ * serial run.
+ *
+ * Determinism contract: each work item owns its System (or derives a
+ * per-trial Rng substream from (baseSeed, trialIndex)); no mutable
+ * state is shared across items, and per-item results/StatGroups are
+ * merged after the barrier in submission order. NVCK_JOBS=1 opts out
+ * of threading entirely and must reproduce the same bytes.
+ */
+
+#ifndef NVCK_SIM_PARALLEL_HH
+#define NVCK_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.hh"
+#include "sim/experiment.hh"
+
+namespace nvck {
+
+/** One independent experiment: a configured system plus run control. */
+struct ExperimentJob
+{
+    SystemConfig config;
+    RunControl rc;
+};
+
+/**
+ * Run every job across the pool (global pool when @p pool is null);
+ * results land in submission order.
+ */
+std::vector<RunMetrics> runAll(const std::vector<ExperimentJob> &jobs,
+                               ThreadPool *pool = nullptr);
+
+/** Baseline/proposal pair for one workload (Figs 16/17). */
+struct AbResult
+{
+    RunMetrics baseline;
+    RunMetrics proposal;
+};
+
+/**
+ * The Fig 16/17 sweep: for each workload run the bit-error-only
+ * baseline and the two-pass proposal protocol under @p tech. Workloads
+ * are independent work items; the two runs inside one item stay
+ * sequential (the proposal's pass 2 depends on pass 1's C factor).
+ */
+std::vector<AbResult> runAbSweep(PmTech tech,
+                                 const std::vector<std::string> &workloads,
+                                 std::uint64_t seed, const RunControl &rc,
+                                 ThreadPool *pool = nullptr);
+
+/**
+ * Ordered parallel map over [0, count) on the global pool — the entry
+ * point the figure benches submit through for non-System work items
+ * (e.g. per-RBER fault-sweep points, per-shard rank simulations).
+ */
+template <typename T>
+std::vector<T>
+parallelMap(std::size_t count, const std::function<T(std::size_t)> &fn)
+{
+    return ThreadPool::global().map<T>(count, fn);
+}
+
+} // namespace nvck
+
+#endif // NVCK_SIM_PARALLEL_HH

@@ -64,6 +64,62 @@ TEST(Histogram, Cumulative)
     EXPECT_DOUBLE_EQ(h.cumulativeAt(7), 1.0);
 }
 
+TEST(Histogram, MergeAddsCountsAndGrows)
+{
+    Histogram a(4), b(8);
+    a.sample(0);
+    a.sample(3);
+    a.sample(9); // overflow for a
+    b.sample(3);
+    b.sample(6);
+    a.merge(b);
+    EXPECT_EQ(a.buckets(), 8u);
+    EXPECT_EQ(a.bucket(0), 1u);
+    EXPECT_EQ(a.bucket(3), 2u);
+    EXPECT_EQ(a.bucket(6), 1u);
+    EXPECT_EQ(a.overflowed(), 1u);
+    EXPECT_EQ(a.samples(), 5u);
+}
+
+TEST(Histogram, MergeOrderInvariant)
+{
+    // Per-worker partials must fold to the serial result whatever the
+    // merge order — the property the engine's barrier merge relies on.
+    Histogram serial(8), m1(8), m2(8), m3(8);
+    int v = 0;
+    for (Histogram *part : {&m1, &m2, &m3}) {
+        for (int i = 0; i < 5; ++i, ++v) {
+            part->sample(static_cast<std::size_t>(v % 8));
+            serial.sample(static_cast<std::size_t>(v % 8));
+        }
+    }
+    Histogram fwd(8);
+    fwd.merge(m1);
+    fwd.merge(m2);
+    fwd.merge(m3);
+    Histogram rev(8);
+    rev.merge(m3);
+    rev.merge(m2);
+    rev.merge(m1);
+    for (std::size_t k = 0; k < 8; ++k) {
+        EXPECT_EQ(fwd.bucket(k), serial.bucket(k));
+        EXPECT_EQ(rev.bucket(k), serial.bucket(k));
+    }
+}
+
+TEST(StatGroup, MergeSumsScalars)
+{
+    StatGroup a("mem"), b("mem");
+    a.record("reads", 10);
+    a.record("writes", 4);
+    b.record("reads", 5);
+    b.record("rowHits", 7);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.values().at("reads"), 15.0);
+    EXPECT_DOUBLE_EQ(a.values().at("writes"), 4.0);
+    EXPECT_DOUBLE_EQ(a.values().at("rowHits"), 7.0);
+}
+
 TEST(StatGroup, DumpsNamedScalars)
 {
     StatGroup g("llc");

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reliability/injector.hh"
+#include "reliability/sdc_model.hh"
+#include "sim/parallel.hh"
+
+namespace nvck {
+namespace {
+
+RunControl
+quickRun()
+{
+    RunControl rc;
+    rc.warmup = nsToTicks(10000);
+    rc.measure = nsToTicks(30000);
+    rc.samplePeriod = nsToTicks(5000);
+    return rc;
+}
+
+std::vector<ExperimentJob>
+sampleJobs()
+{
+    const RunControl rc = quickRun();
+    std::vector<ExperimentJob> jobs;
+    for (const char *wl : {"echo", "ycsb", "hashmap", "ctree"}) {
+        jobs.push_back({SystemConfig::make(PmTech::Reram,
+                                           bitErrorOnlyScheme(), wl, 1),
+                        rc});
+        jobs.push_back({SystemConfig::make(PmTech::Pcm,
+                                           proposalScheme(2e-4), wl, 7),
+                        rc});
+    }
+    return jobs;
+}
+
+/** Bit-identical comparison of every RunMetrics field. */
+void
+expectSameMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.tech, b.tech);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.mflops, b.mflops);
+    EXPECT_EQ(a.perf, b.perf);
+    EXPECT_EQ(a.cFactor, b.cFactor);
+    EXPECT_EQ(a.omvHitRate, b.omvHitRate);
+    EXPECT_EQ(a.dirtyPmFraction, b.dirtyPmFraction);
+    EXPECT_EQ(a.omvFraction, b.omvFraction);
+    EXPECT_EQ(a.pmReads, b.pmReads);
+    EXPECT_EQ(a.pmWrites, b.pmWrites);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.overheadReads, b.overheadReads);
+    EXPECT_EQ(a.overheadWrites, b.overheadWrites);
+    EXPECT_EQ(a.vlewFetches, b.vlewFetches);
+    EXPECT_EQ(a.oldDataFetches, b.oldDataFetches);
+    EXPECT_EQ(a.avgReadLatencyNs, b.avgReadLatencyNs);
+    EXPECT_EQ(a.avgWriteLatencyNs, b.avgWriteLatencyNs);
+    EXPECT_EQ(a.rowHitRate, b.rowHitRate);
+}
+
+TEST(ParallelEngine, MatchesSerialForAnyWorkerCount)
+{
+    const auto jobs = sampleJobs();
+
+    // Ground truth: the plain serial loop, no engine involved.
+    std::vector<RunMetrics> serial;
+    for (const auto &job : jobs)
+        serial.push_back(runOnce(job.config, job.rc));
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        ThreadPool pool(workers);
+        const auto parallel = runAll(jobs, &pool);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE("workers=" + std::to_string(workers) +
+                         " job=" + std::to_string(i));
+            expectSameMetrics(serial[i], parallel[i]);
+        }
+    }
+}
+
+TEST(ParallelEngine, AbSweepMatchesSerialPair)
+{
+    const RunControl rc = quickRun();
+    const std::vector<std::string> workloads = {"echo", "ycsb"};
+
+    std::vector<AbResult> serial(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        serial[i].baseline = runBaseline(PmTech::Reram, workloads[i], 1, rc);
+        serial[i].proposal = runProposal(PmTech::Reram, workloads[i], 1, rc);
+    }
+
+    for (unsigned workers : {1u, 4u}) {
+        ThreadPool pool(workers);
+        const auto par = runAbSweep(PmTech::Reram, workloads, 1, rc, &pool);
+        ASSERT_EQ(par.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE("workers=" + std::to_string(workers));
+            expectSameMetrics(serial[i].baseline, par[i].baseline);
+            expectSameMetrics(serial[i].proposal, par[i].proposal);
+        }
+    }
+}
+
+void
+expectSameReport(const InjectionReport &a, const InjectionReport &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.clean, b.clean);
+    EXPECT_EQ(a.corrected, b.corrected);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.miscorrected, b.miscorrected);
+    EXPECT_EQ(a.rejectedByCap, b.rejectedByCap);
+    ASSERT_EQ(a.errorCount.buckets(), b.errorCount.buckets());
+    for (std::size_t k = 0; k < a.errorCount.buckets(); ++k)
+        EXPECT_EQ(a.errorCount.bucket(k), b.errorCount.bucket(k));
+    EXPECT_EQ(a.errorCount.overflowed(), b.errorCount.overflowed());
+    EXPECT_EQ(a.errorCount.samples(), b.errorCount.samples());
+}
+
+TEST(ParallelEngine, InjectionCountersBitIdenticalAcrossWorkers)
+{
+    const RsCodec rs(64, 8);
+    RsCampaign c;
+    c.rber = 1e-3;
+    c.trials = 5000; // spans several 512-trial chunks
+    c.seed = 11;
+
+    ThreadPool serial(1);
+    const auto ref = injectRs(rs, c, &serial);
+    EXPECT_EQ(ref.trials, c.trials);
+
+    for (unsigned workers : {2u, 8u}) {
+        ThreadPool pool(workers);
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectSameReport(ref, injectRs(rs, c, &pool));
+    }
+
+    const BchCodec vlew(512, 8);
+    BchCampaign bc;
+    bc.rber = 2e-3;
+    bc.trials = 1500;
+    bc.seed = 5;
+    const auto bch_ref = injectBch(vlew, bc, &serial);
+    EXPECT_EQ(bch_ref.trials, bc.trials);
+    for (unsigned workers : {2u, 8u}) {
+        ThreadPool pool(workers);
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectSameReport(bch_ref, injectBch(vlew, bc, &pool));
+    }
+}
+
+TEST(ParallelEngine, SdcMonteCarloDeterministicAndNearAnalytic)
+{
+    SdcInputs in;
+    in.rber = 2e-3; // elevated so the tail is observable in 200k trials
+    const double analytic = vlewFallbackFraction(in, 2);
+
+    ThreadPool serial(1);
+    ThreadPool wide(8);
+    const double mc1 =
+        vlewFallbackFractionMc(in, 2, 200000, 3, &serial);
+    const double mc8 = vlewFallbackFractionMc(in, 2, 200000, 3, &wide);
+    EXPECT_EQ(mc1, mc8); // byte-identical estimate, any worker count
+    EXPECT_NEAR(mc1, analytic, 0.25 * analytic);
+}
+
+} // namespace
+} // namespace nvck
