@@ -7,6 +7,27 @@
 
 namespace nvck {
 
+namespace {
+
+/**
+ * std::lgamma is not thread-safe on glibc (it writes the global
+ * `signgam`), and the parallel experiment engine evaluates these
+ * models concurrently. All arguments here are > 0, so the sign output
+ * of the reentrant variant is irrelevant.
+ */
+double
+lgammaSafe(double x)
+{
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
+} // namespace
+
 double
 logChoose(std::uint64_t n, std::uint64_t k)
 {
@@ -14,9 +35,9 @@ logChoose(std::uint64_t n, std::uint64_t k)
         return -std::numeric_limits<double>::infinity();
     if (k == 0 || k == n)
         return 0.0;
-    return std::lgamma(static_cast<double>(n) + 1.0) -
-           std::lgamma(static_cast<double>(k) + 1.0) -
-           std::lgamma(static_cast<double>(n - k) + 1.0);
+    return lgammaSafe(static_cast<double>(n) + 1.0) -
+           lgammaSafe(static_cast<double>(k) + 1.0) -
+           lgammaSafe(static_cast<double>(n - k) + 1.0);
 }
 
 double
