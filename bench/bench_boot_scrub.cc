@@ -4,81 +4,25 @@
  * rank model end to end — inject the week-to-year RBER, scrub, verify
  * every stored bit — and reproduces the scrub-time estimate (<1.5
  * minutes per terabyte channel).
+ *
+ * The three scenarios are independent ParallelSweep points, each
+ * seeding its own rank from a per-point Rng substream, so the
+ * campaign runs on every core and stays byte-identical for any
+ * NVCK_JOBS.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "chipkill/pm_rank.hh"
-#include "common/table.hh"
-#include "reliability/error_model.hh"
+#include "sweeps.hh"
 
 using namespace nvck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Section V-B", "boot-time scrub on the bit-accurate rank");
-
-    Rng rng(2018);
-    Table t({"scenario", "injected bit errors", "bits corrected",
-             "chips rebuilt", "pristine after"});
-
-    {
-        PmRank rank(512);
-        rank.initialize(rng);
-        const auto injected = rank.injectErrors(rng, rber::bootTarget);
-        const auto report = rank.bootScrub();
-        t.row()
-            .cell("1e-3 RBER (1 year unrefreshed ReRAM)")
-            .cell(injected)
-            .cell(report.bitsCorrected)
-            .cell(std::uint64_t{report.chipsRecovered})
-            .cell(rank.isPristine() && !report.uncorrectable ? "yes"
-                                                             : "NO");
-    }
-    {
-        PmRank rank(512);
-        rank.initialize(rng);
-        rank.failChip(4, rng);
-        const auto injected = rank.injectErrors(rng, 1e-4);
-        const auto report = rank.bootScrub();
-        t.row()
-            .cell("dead data chip + 1e-4 residual errors")
-            .cell(injected)
-            .cell(report.bitsCorrected)
-            .cell(std::uint64_t{report.chipsRecovered})
-            .cell(rank.isPristine() && !report.uncorrectable ? "yes"
-                                                             : "NO");
-    }
-    {
-        PmRank rank(512);
-        rank.initialize(rng);
-        rank.failChip(8, rng); // parity chip
-        const auto report = rank.bootScrub();
-        t.row()
-            .cell("dead parity chip")
-            .cell(std::uint64_t{0})
-            .cell(report.bitsCorrected)
-            .cell(std::uint64_t{report.chipsRecovered})
-            .cell(rank.isPristine() && !report.uncorrectable ? "yes"
-                                                             : "NO");
-    }
-    t.print(std::cout);
-
-    std::cout << "\nScrub wall-time estimate (fetch every VLEW over the"
-                 " memory bus):\n";
-    Table s({"capacity per channel", "DDR4-2400 bus", "scrub time"});
-    for (double tb : {0.25, 0.5, 1.0}) {
-        const double seconds =
-            PmRank::scrubSeconds(tb * 1e12, 2400e6 * 8);
-        s.row()
-            .cell(std::to_string(tb) + " TB")
-            .cell("19.2 GB/s")
-            .cell(Table::formatNumber(seconds, 3) + " s");
-    }
-    s.print(std::cout);
-    std::cout << "\nPaper: scrubbing a terabyte channel takes less than"
-                 " 1.5 minutes.\n";
+    bootScrubCampaign(std::cout, opts);
     return 0;
 }

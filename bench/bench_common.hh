@@ -2,7 +2,10 @@
  * @file
  * Shared helpers for the figure-reproduction harnesses: a standard
  * banner tying each binary to the paper artifact it regenerates, and
- * the common run-control used by the simulation-driven figures.
+ * the common run-controls used by the simulation-driven figures. Every
+ * bench gets its RunControl from here — do not hand-roll the windows
+ * in individual harnesses, so that figures stay comparable and the
+ * golden-output tests can scale every window through one knob.
  */
 
 #ifndef NVCK_BENCH_COMMON_HH
@@ -28,14 +31,33 @@ banner(const std::string &artifact, const std::string &description)
               << "==============================================================\n";
 }
 
-/** Run control used by the simulation figures (fast, deterministic). */
+/**
+ * The canonical bench windows (nanoseconds of simulated time). The
+ * perf/traffic figures (14-18, ablation) warm caches for 30us and
+ * measure 100us with 2.5us occupancy samples; the occupancy figures
+ * (10) need the longer 150us/150us windows to let dirty-line
+ * populations reach their eviction/clean equilibrium. @p scale
+ * multiplies every window so reduced-cost runs (golden regression
+ * tests, smoke jobs) reuse the exact same shape.
+ */
 inline RunControl
-benchRunControl()
+benchRunControl(double scale = 1.0)
 {
     RunControl rc;
-    rc.warmup = nsToTicks(30000);
-    rc.measure = nsToTicks(100000);
-    rc.samplePeriod = nsToTicks(2500);
+    rc.warmup = nsToTicks(30000 * scale);
+    rc.measure = nsToTicks(100000 * scale);
+    rc.samplePeriod = nsToTicks(2500 * scale);
+    return rc;
+}
+
+/** Equilibrium-seeking windows for the occupancy figures (Fig 10). */
+inline RunControl
+benchOccupancyRunControl(double scale = 1.0)
+{
+    RunControl rc;
+    rc.warmup = nsToTicks(150000 * scale);
+    rc.measure = nsToTicks(150000 * scale);
+    rc.samplePeriod = nsToTicks(5000 * scale);
     return rc;
 }
 

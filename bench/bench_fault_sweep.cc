@@ -6,92 +6,25 @@
  * beyond — the end-to-end demonstration that the decoupled design
  * degrades gracefully and never corrupts silently.
  *
- * Each RBER point is an independent work item submitted through the
- * parallel experiment engine (NVCK_JOBS controls the worker count;
- * NVCK_JOBS=1 runs serially). Every point seeds its own rank and Rng,
- * so the table is byte-identical for any worker count.
+ * Each RBER point is an independent ParallelSweep work item
+ * (NVCK_JOBS controls the worker count; NVCK_JOBS=1 runs serially).
+ * Every point seeds its own rank from its Rng substream, so the table
+ * is byte-identical for any worker count.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "chipkill/pm_rank.hh"
-#include "common/table.hh"
-#include "sim/parallel.hh"
+#include "sweeps.hh"
 
 using namespace nvck;
 
-namespace {
-
-struct SweepPoint
-{
-    double rber = 0.0;
-    std::uint64_t reads = 0, clean = 0, accepted = 0, vlew = 0,
-                  failed = 0, sdc = 0;
-};
-
-SweepPoint
-sweepOne(double rber)
-{
-    SweepPoint pt;
-    pt.rber = rber;
-
-    PmRank rank(1024);
-    Rng rng(static_cast<std::uint64_t>(rber * 1e9));
-    rank.initialize(rng);
-
-    std::uint8_t out[blockBytes];
-    for (int round = 0; round < 4; ++round) {
-        rank.injectErrors(rng, rber);
-        for (unsigned b = 0; b < rank.blocks(); ++b) {
-            const auto res = rank.readBlock(b, out);
-            ++pt.reads;
-            switch (res.path) {
-              case ReadPath::Clean: ++pt.clean; break;
-              case ReadPath::RsAccepted: ++pt.accepted; break;
-              case ReadPath::VlewFallback:
-              case ReadPath::ChipRecovered: ++pt.vlew; break;
-              case ReadPath::Failed: ++pt.failed; break;
-            }
-            if (!res.dataCorrect && res.path != ReadPath::Failed)
-                ++pt.sdc;
-        }
-        rank.bootScrub();
-    }
-    return pt;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Fault sweep",
            "read-path distribution vs RBER on the bit-accurate rank");
-
-    const std::vector<double> rbers = {1e-5, 7e-5, 2e-4, 5e-4, 1e-3, 2e-3};
-
-    const auto points = parallelMap<SweepPoint>(
-        rbers.size(), [&](std::size_t i) { return sweepOne(rbers[i]); });
-
-    Table t({"RBER", "clean", "RS accepted", "VLEW fallback",
-             "uncorrectable", "SDC"});
-    for (const auto &pt : points) {
-        const double n = static_cast<double>(pt.reads);
-        t.row()
-            .cell(pt.rber, 2)
-            .pct(pt.clean / n, 2)
-            .pct(pt.accepted / n, 2)
-            .pct(pt.vlew / n, 4)
-            .pct(pt.failed / n, 4)
-            .cell(pt.sdc);
-    }
-    t.print(std::cout);
-
-    std::cout << "\nReading: the RS tier absorbs everything through the"
-                 " runtime rates; past the\nboot target the VLEW"
-                 " fallback carries the load. SDC stays at zero"
-                 " throughout —\nthe acceptance threshold converts"
-                 " would-be miscorrections into VLEW fetches.\n";
+    faultSweep(std::cout, opts);
     return 0;
 }

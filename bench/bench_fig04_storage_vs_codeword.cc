@@ -3,49 +3,24 @@
  * Figure 4: total storage cost (VLEW code bits + parity chip) versus
  * codeword length at the 1e-3 boot-time RBER. Longer words cost less;
  * 256B of data per word reaches the paper's 27% sweet spot.
+ *
+ * Each codeword length is one analytic ParallelSweep point (the
+ * vlewScheme strength solver); the underlying vlewSweep() library
+ * entry point fans out the same way for other callers.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "common/table.hh"
-#include "reliability/error_model.hh"
-#include "reliability/storage_model.hh"
+#include "sweeps.hh"
 
 using namespace nvck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Figure 4", "storage cost vs VLEW codeword length @ RBER 1e-3");
-
-    StorageTargets in;
-    in.rber = rber::bootTarget;
-    in.ueTarget = rber::ueTargetPerBlock;
-
-    const std::vector<unsigned> sizes = {8,  16,  32,  64,
-                                         128, 256, 512, 1024};
-    const auto rows = vlewSweep(in, sizes);
-
-    Table t({"data per word", "t (bits corrected)", "code overhead",
-             "total incl. parity chip"});
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        t.row()
-            .cell(std::to_string(sizes[i]) + "B")
-            .cell(std::uint64_t{rows[i].t})
-            .pct(rows[i].codeOverhead)
-            .pct(rows[i].totalOverhead);
-    }
-    t.print(std::cout);
-
-    const auto paper_point = vlewScheme(in, 256);
-    std::cout << "\nPaper design point: 256B words, 22-EC, 33B code"
-                 " -> 27% total.\n"
-              << "Model at 256B: t = " << paper_point.t << ", total = "
-              << 100.0 * paper_point.totalOverhead << "%\n"
-              << "(the model solves t for a per-block UE target of "
-              << in.ueTarget << " and may pick t one or two above the\n"
-              << " paper's 22 depending on how the target is "
-                 "apportioned across chips; the cost shape is identical)\n";
+    fig04StorageVsCodeword(std::cout, opts);
     return 0;
 }

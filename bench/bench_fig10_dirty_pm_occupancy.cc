@@ -5,66 +5,77 @@
  * observation — dirty PM blocks occupy only a small fraction (4% on
  * average) because persistent-memory applications clean aggressively —
  * is what makes OMV preservation in the LLC cheap.
+ *
+ * Workloads (full-size and scaled-cache sections) run as independent
+ * ParallelSweep points; scaled points carry "@256KB" labels.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
 #include "common/table.hh"
+#include "sim/parallel.hh"
 #include "workload/profiles.hh"
 
 using namespace nvck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Figure 10",
            "dirty-PM fraction of cache hierarchy capacity");
 
     // Longer windows than the perf figures: occupancy needs to reach
     // its eviction/clean equilibrium.
-    RunControl rc;
-    rc.warmup = nsToTicks(150000);
-    rc.measure = nsToTicks(150000);
-    rc.samplePeriod = nsToTicks(5000);
+    const RunControl rc = benchOccupancyRunControl();
+
+    ParallelSweep<RunMetrics> sweep(10, opts);
+    for (const auto &name : allBenchmarkNames())
+        sweep.add(name, [name, rc] {
+            return runOnce(
+                SystemConfig::make(PmTech::Reram,
+                                   proposalScheme(runtimeRberFor(
+                                       PmTech::Reram)),
+                                   name),
+                rc);
+        });
 
     Table t({"workload", "dirty PM fraction", "OMV lines (LLC)"});
     double sum = 0.0;
     unsigned count = 0;
-    for (const auto &name : allBenchmarkNames()) {
-        const auto m = runOnce(
-            SystemConfig::make(PmTech::Reram,
-                               proposalScheme(runtimeRberFor(
-                                   PmTech::Reram)),
-                               name),
-            rc);
-        t.row().cell(name).pct(m.dirtyPmFraction, 2).pct(m.omvFraction,
-                                                         2);
-        sum += m.dirtyPmFraction;
+    for (const auto &out : sweep.run()) {
+        t.row().cell(out.label).pct(out.value.dirtyPmFraction, 2).pct(
+            out.value.omvFraction, 2);
+        sum += out.value.dirtyPmFraction;
         ++count;
     }
     t.print(std::cout);
-    std::cout << "\naverage dirty-PM occupancy: "
-              << 100.0 * sum / count
-              << "%  (paper: ~4% average; barnes lowest at ~0.5%)\n"
-              << "Both in the 'small fraction' regime that makes OMV"
-                 " caching cheap.\n";
+    if (count)
+        std::cout << "\naverage dirty-PM occupancy: "
+                  << 100.0 * sum / count
+                  << "%  (paper: ~4% average; barnes lowest at ~0.5%)\n"
+                  << "Both in the 'small fraction' regime that makes OMV"
+                     " caching cheap.\n";
 
     // Occupancy climbs toward its eviction/clean equilibrium over
     // horizons the paper's 500ms warmup reaches but a bench-scale
     // window cannot; shrinking the hierarchy shows the equilibrium
     // fractions at bench scale.
     std::cout << "\nScaled-cache sensitivity (LLC shrunk to 256KB):\n";
+    ParallelSweep<RunMetrics> scaled(1010, opts);
+    for (const std::string name : {"hashmap", "tpcc", "ycsb", "echo"})
+        scaled.add(name + "@256KB", [name, rc] {
+            auto cfg = SystemConfig::make(
+                PmTech::Reram,
+                proposalScheme(runtimeRberFor(PmTech::Reram)), name);
+            cfg.cache.llcBytes = 256 * 1024;
+            return runOnce(cfg, rc);
+        });
     Table t2({"workload", "dirty PM fraction", "OMV lines (LLC)"});
-    for (const std::string name : {"hashmap", "tpcc", "ycsb", "echo"}) {
-        auto cfg = SystemConfig::make(
-            PmTech::Reram,
-            proposalScheme(runtimeRberFor(PmTech::Reram)), name);
-        cfg.cache.llcBytes = 256 * 1024;
-        const auto m = runOnce(cfg, rc);
-        t2.row().cell(name).pct(m.dirtyPmFraction, 2).pct(
-            m.omvFraction, 2);
-    }
+    for (const auto &out : scaled.run())
+        t2.row().cell(out.label).pct(out.value.dirtyPmFraction, 2).pct(
+            out.value.omvFraction, 2);
     t2.print(std::cout);
     return 0;
 }

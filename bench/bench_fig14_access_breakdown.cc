@@ -3,45 +3,25 @@
  * Figure 14: workload characterization — breakdown of off-chip memory
  * accesses into persistent-memory reads/writes and DRAM reads/writes.
  * All benchmarks significantly exercise persistent memory.
+ *
+ * Workloads run as independent ParallelSweep points (NVCK_JOBS
+ * controls the worker count; `--points`/`--filter` re-run a subset
+ * with unchanged streams). The table is byte-identical for any worker
+ * count and regression-locked by tests/sim/test_bench_golden.cc.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "common/table.hh"
-#include "workload/profiles.hh"
+#include "sweeps.hh"
 
 using namespace nvck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Figure 14", "off-chip memory access breakdown");
-
-    const auto rc = benchRunControl();
-    Table t({"workload", "PM reads", "PM writes", "DRAM reads",
-             "DRAM writes", "PM share"});
-    for (const auto &name : allBenchmarkNames()) {
-        const auto m = runOnce(
-            SystemConfig::make(PmTech::Reram, bitErrorOnlyScheme(),
-                               name),
-            rc);
-        const double total = static_cast<double>(
-            m.pmReads + m.pmWrites + m.dramReads + m.dramWrites);
-        if (total == 0)
-            continue;
-        t.row()
-            .cell(name)
-            .pct(m.pmReads / total)
-            .pct(m.pmWrites / total)
-            .pct(m.dramReads / total)
-            .pct(m.dramWrites / total)
-            .pct((m.pmReads + m.pmWrites) / total);
-    }
-    t.print(std::cout);
-    std::cout << "\nPaper observation: every benchmark significantly"
-                 " exercises persistent memory;\nKV stores and trees"
-                 " are PM-dominated, tpcc/vacation mix in sizable DRAM"
-                 " index traffic.\n";
+    fig14AccessBreakdown(std::cout, opts);
     return 0;
 }

@@ -4,44 +4,25 @@
  * writes (EUR drains at row close) to off-chip PM write requests. C
  * sets the iso-endurance write-latency inflation 1 + 33/8 * C used in
  * the evaluation.
+ *
+ * Workloads run as independent ParallelSweep points; see sweeps.hh
+ * for the determinism contract and tests/sim/test_bench_golden.cc for
+ * the byte-identical regression lock.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "chipkill/schemes.hh"
-#include "common/table.hh"
-#include "workload/profiles.hh"
+#include "sweeps.hh"
 
 using namespace nvck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Figure 15",
            "C factor: VLEW code-bit writes per PM write request");
-
-    const auto rc = benchRunControl();
-    Table t({"workload", "C", "tWR scale (1 + 33/8 C)"});
-    double sum = 0.0;
-    unsigned count = 0;
-    for (const auto &name : allBenchmarkNames()) {
-        const auto m = runOnce(
-            SystemConfig::make(PmTech::Reram,
-                               proposalScheme(runtimeRberFor(
-                                   PmTech::Reram)),
-                               name),
-            rc);
-        SchemeTiming s = proposalScheme(7e-5);
-        applyCFactor(s, m.cFactor);
-        t.row().cell(name).cell(m.cFactor, 3).cell(s.pmWriteScale, 3);
-        sum += m.cFactor;
-        ++count;
-    }
-    t.print(std::cout);
-    std::cout << "\naverage C: " << sum / count
-              << "\nC reflects spatial locality: sequential undo-log"
-                 " appends and arena-allocated\nwrites coalesce in the"
-                 " EUR; scattered updates (hashmap-style) do not.\n";
+    fig15Cfactor(std::cout, opts);
     return 0;
 }

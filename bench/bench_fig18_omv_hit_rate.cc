@@ -5,65 +5,24 @@
  * paper reports a 98.6% average; misses arise when the non-inclusive
  * hierarchy no longer holds the block's pre-write value (the paper's
  * barnes discussion).
+ *
+ * Both the full-LLC table and the scaled-cache sensitivity section
+ * run as independent ParallelSweep points; the scaled points carry
+ * "@64KB" labels so `--filter` can target either section.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "common/table.hh"
-#include "workload/profiles.hh"
+#include "sweeps.hh"
 
 using namespace nvck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Figure 18", "OMV served-from-LLC rate for PM writes");
-
-    const auto rc = benchRunControl();
-    Table t({"workload", "OMV hit rate", "old-data fetches",
-             "PM writes"});
-    double sum = 0.0;
-    unsigned count = 0;
-    for (const auto &name : allBenchmarkNames()) {
-        const auto m = runOnce(
-            SystemConfig::make(PmTech::Reram,
-                               proposalScheme(runtimeRberFor(
-                                   PmTech::Reram)),
-                               name),
-            rc);
-        t.row()
-            .cell(name)
-            .pct(m.omvHitRate, 2)
-            .cell(m.oldDataFetches)
-            .cell(m.pmWrites);
-        sum += m.omvHitRate;
-        ++count;
-    }
-    t.print(std::cout);
-    std::cout << "\naverage OMV hit rate: " << 100.0 * sum / count
-              << "%  (paper: 98.6% average; worst case barnes ~89%"
-                 " due to non-inclusive caching)\n";
-
-    // The paper's misses come from LLC churn evicting a block's old
-    // value between write and clean; saturating a 4MB LLC needs the
-    // paper's 500ms warmup, beyond this harness's budget. Scaling the
-    // LLC down reproduces the mechanism at bench scale.
-    std::cout << "\nScaled-cache sensitivity (LLC shrunk to 64KB to"
-                 " saturate within the window):\n";
-    Table t2({"workload", "OMV hit rate", "old-data fetches"});
-    for (const std::string name :
-         {"barnes", "hashmap", "ycsb", "tpcc"}) {
-        auto cfg = SystemConfig::make(
-            PmTech::Reram,
-            proposalScheme(runtimeRberFor(PmTech::Reram)), name);
-        cfg.cache.llcBytes = 64 * 1024;
-        RunControl rc2 = rc;
-        rc2.measure = nsToTicks(300000);
-        const auto m = runOnce(cfg, rc2);
-        t2.row().cell(name).pct(m.omvHitRate, 2).cell(
-            m.oldDataFetches);
-    }
-    t2.print(std::cout);
+    fig18OmvHitRate(std::cout, opts);
     return 0;
 }

@@ -38,13 +38,18 @@ main()
         {"1 day", secondsPerDay},
     };
 
+    // One analytic model evaluation per interval, fanned out through
+    // the UE-model sweep (submission-order results, any NVCK_JOBS).
+    std::vector<double> rbers;
+    for (const auto &iv : intervals)
+        rbers.push_back(rberAfter(MemTech::Pcm3, iv.second));
+    const auto points = evaluateProposalSweep(rbers, p);
+
     Table t({"refresh interval", "PCM-3 RBER", "VLEW fallback",
              "fallback read BW", "refresh BW", "SDC @ t=2"});
-    for (const auto &[label, seconds] : intervals) {
-        const double rber = rberAfter(MemTech::Pcm3, seconds);
-        SdcInputs in;
-        in.rber = rber;
-        const double fallback = vlewFallbackFraction(in, 2);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &[label, seconds] = intervals[i];
+        const double fallback = points[i].vlewFallbackFraction;
         const double fallback_bw =
             fallback * (p.vlewFetchOverheadBlocks() + 1);
         const double refresh_bw =
@@ -52,11 +57,11 @@ main()
             (seconds * bus);
         t.row()
             .cell(label)
-            .cell(rber, 2)
+            .cell(points[i].rber, 2)
             .pct(fallback, 3)
             .pct(fallback_bw, 2)
             .pct(refresh_bw, 2)
-            .cell(sdcRate(in, 2), 2);
+            .cell(points[i].blockSdcRuntime, 2);
     }
     t.print(std::cout);
 
@@ -68,10 +73,13 @@ main()
 
     std::cout << "\nOutage tolerance at the boot tier"
                  " (UE target 1e-15/block):\n";
+    const std::vector<MemTech> techs = {MemTech::Reram, MemTech::Pcm3};
+    const auto outages = maxOutageSweep(
+        {static_cast<int>(techs[0]), static_cast<int>(techs[1])}, 1e-15);
     Table o({"technology", "max unrefreshed outage"});
-    for (MemTech tech : {MemTech::Reram, MemTech::Pcm3}) {
-        const double secs =
-            maxOutageSeconds(static_cast<int>(tech), 1e-15);
+    for (std::size_t i = 0; i < techs.size(); ++i) {
+        const MemTech tech = techs[i];
+        const double secs = outages[i];
         std::string label;
         if (secs >= secondsPerYear)
             label = ">= 1 year";

@@ -5,88 +5,23 @@
  * at a small migration-write cost. Sweeps the gap-movement interval
  * (psi) to show the level/overhead trade-off, and shows the write-
  * verify wear-out detector catching a worn cell.
+ *
+ * Each gap interval is one long-trial ParallelSweep point (a full
+ * hot-write hammer campaign), so the sweep saturates every core.
  */
 
-#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hh"
-#include "chipkill/wear.hh"
-#include "common/table.hh"
+#include "sweeps.hh"
 
 using namespace nvck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = SweepOptions::parse(argc, argv);
     banner("Section V-E", "start-gap wear leveling on the protected rank");
-
-    const unsigned hot_writes = 4000;
-    Table t({"gap interval (writes)", "peak/mean wear", "migrations",
-             "migration write overhead"});
-    for (unsigned interval : {0u, 64u, 16u, 4u}) {
-        if (interval == 0) {
-            // No leveling: all wear lands on one frame.
-            WearLevelledRank rank(31, 1u << 30, 1);
-            std::uint8_t data[blockBytes] = {};
-            for (unsigned w = 0; w < hot_writes; ++w) {
-                data[0] = static_cast<std::uint8_t>(w);
-                rank.writeBlock(5, data);
-            }
-            t.row()
-                .cell("off")
-                .cell(rank.wearImbalance(), 3)
-                .cell(std::uint64_t{rank.migrations()})
-                .pct(0.0);
-            continue;
-        }
-        WearLevelledRank rank(31, interval, 1);
-        std::uint8_t data[blockBytes] = {};
-        for (unsigned w = 0; w < hot_writes; ++w) {
-            data[0] = static_cast<std::uint8_t>(w);
-            rank.writeBlock(5, data);
-        }
-        // Each migration costs two extra writes (copy + zero).
-        const double overhead =
-            2.0 * rank.migrations() / static_cast<double>(hot_writes);
-        t.row()
-            .cell(std::uint64_t{interval})
-            .cell(rank.wearImbalance(), 3)
-            .cell(std::uint64_t{rank.migrations()})
-            .pct(overhead);
-    }
-    t.print(std::cout);
-    std::cout << "\nPerfect leveling is 1.0; without leveling the hot"
-                 " frame takes the full write\nstream (imbalance ~="
-                 " frame count). The psi knob trades leveling quality"
-                 " for\nmigration bandwidth, as in start-gap [87].\n";
-
-    // Wear-out detection + disable (the [86] flow).
-    std::cout << "\nWear-out detection via write-verify:\n";
-    PmRank rank(64);
-    Rng rng(9);
-    rank.initialize(rng);
-    rank.setStuckBit(2, 12 * chipBeatBytes + 3, 4, true);
-    rank.setStuckBit(5, 12 * chipBeatBytes + 6, 1, false);
-    std::uint8_t probe[blockBytes];
-    unsigned detected = 0;
-    for (int attempt = 0; attempt < 8; ++attempt) {
-        for (auto &b : probe)
-            b = static_cast<std::uint8_t>(rng.next() & 0xFF);
-        detected = std::max(detected, rank.writeVerify(12, probe));
-    }
-    std::cout << "  block 12 has 2 stuck cells; write-verify detected "
-              << detected << " bad bit(s) -> disableBlock(12)\n";
-    rank.disableBlock(12);
-    std::uint8_t out[blockBytes];
-    unsigned ok = 0;
-    for (unsigned b = 0; b < 32; ++b) {
-        if (rank.isDisabled(b))
-            continue;
-        if (rank.readBlock(b, out).dataCorrect)
-            ++ok;
-    }
-    std::cout << "  " << ok << "/31 sibling blocks of the VLEW remain"
-              << " fully readable after disabling.\n";
+    wearLevelingCampaign(std::cout, opts);
     return 0;
 }

@@ -1,0 +1,449 @@
+#include "sweeps.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "chipkill/pm_rank.hh"
+#include "chipkill/schemes.hh"
+#include "chipkill/wear.hh"
+#include "common/table.hh"
+#include "reliability/error_model.hh"
+#include "reliability/storage_model.hh"
+#include "workload/profiles.hh"
+
+namespace nvck {
+
+BenchScale
+goldenScale()
+{
+    // Small enough that the full golden suite (seven sweeps x two
+    // worker counts) stays in unit-test territory even under TSan,
+    // large enough that every read path / scrub branch still fires.
+    BenchScale s;
+    s.time = 0.25;
+    s.scrubBlocks = 128;
+    s.faultBlocks = 256;
+    s.faultRounds = 2;
+    s.wearWrites = 800;
+    return s;
+}
+
+void
+fig04StorageVsCodeword(std::ostream &os, const SweepOptions &opts)
+{
+    StorageTargets in;
+    in.rber = rber::bootTarget;
+    in.ueTarget = rber::ueTargetPerBlock;
+
+    const std::vector<unsigned> sizes = {8,  16,  32,  64,
+                                         128, 256, 512, 1024};
+    ParallelSweep<StorageSolution> sweep(4, opts);
+    for (unsigned bytes : sizes)
+        sweep.add(std::to_string(bytes) + "B",
+                  [in, bytes] { return vlewScheme(in, bytes); });
+
+    Table t({"data per word", "t (bits corrected)", "code overhead",
+             "total incl. parity chip"});
+    for (const auto &out : sweep.run()) {
+        t.row()
+            .cell(out.label)
+            .cell(std::uint64_t{out.value.t})
+            .pct(out.value.codeOverhead)
+            .pct(out.value.totalOverhead);
+    }
+    t.print(os);
+
+    const auto paper_point = vlewScheme(in, 256);
+    os << "\nPaper design point: 256B words, 22-EC, 33B code"
+          " -> 27% total.\n"
+       << "Model at 256B: t = " << paper_point.t << ", total = "
+       << 100.0 * paper_point.totalOverhead << "%\n"
+       << "(the model solves t for a per-block UE target of "
+       << in.ueTarget << " and may pick t one or two above the\n"
+       << " paper's 22 depending on how the target is "
+          "apportioned across chips; the cost shape is identical)\n";
+}
+
+void
+fig14AccessBreakdown(std::ostream &os, const SweepOptions &opts,
+                     const BenchScale &scale)
+{
+    const auto rc = benchRunControl(scale.time);
+    ParallelSweep<RunMetrics> sweep(14, opts);
+    for (const auto &name : allBenchmarkNames())
+        sweep.add(name, [name, rc] {
+            return runOnce(SystemConfig::make(PmTech::Reram,
+                                              bitErrorOnlyScheme(), name),
+                           rc);
+        });
+
+    Table t({"workload", "PM reads", "PM writes", "DRAM reads",
+             "DRAM writes", "PM share"});
+    for (const auto &out : sweep.run()) {
+        const auto &m = out.value;
+        const double total = static_cast<double>(
+            m.pmReads + m.pmWrites + m.dramReads + m.dramWrites);
+        if (total == 0)
+            continue;
+        t.row()
+            .cell(out.label)
+            .pct(m.pmReads / total)
+            .pct(m.pmWrites / total)
+            .pct(m.dramReads / total)
+            .pct(m.dramWrites / total)
+            .pct((m.pmReads + m.pmWrites) / total);
+    }
+    t.print(os);
+    os << "\nPaper observation: every benchmark significantly"
+          " exercises persistent memory;\nKV stores and trees"
+          " are PM-dominated, tpcc/vacation mix in sizable DRAM"
+          " index traffic.\n";
+}
+
+void
+fig15Cfactor(std::ostream &os, const SweepOptions &opts,
+             const BenchScale &scale)
+{
+    const auto rc = benchRunControl(scale.time);
+    ParallelSweep<RunMetrics> sweep(15, opts);
+    for (const auto &name : allBenchmarkNames())
+        sweep.add(name, [name, rc] {
+            return runOnce(
+                SystemConfig::make(PmTech::Reram,
+                                   proposalScheme(runtimeRberFor(
+                                       PmTech::Reram)),
+                                   name),
+                rc);
+        });
+
+    Table t({"workload", "C", "tWR scale (1 + 33/8 C)"});
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const auto &out : sweep.run()) {
+        SchemeTiming s = proposalScheme(7e-5);
+        applyCFactor(s, out.value.cFactor);
+        t.row().cell(out.label).cell(out.value.cFactor, 3).cell(
+            s.pmWriteScale, 3);
+        sum += out.value.cFactor;
+        ++count;
+    }
+    t.print(os);
+    if (count)
+        os << "\naverage C: " << sum / count;
+    os << "\nC reflects spatial locality: sequential undo-log"
+          " appends and arena-allocated\nwrites coalesce in the"
+          " EUR; scattered updates (hashmap-style) do not.\n";
+}
+
+void
+fig18OmvHitRate(std::ostream &os, const SweepOptions &opts,
+                const BenchScale &scale)
+{
+    const auto rc = benchRunControl(scale.time);
+    ParallelSweep<RunMetrics> sweep(18, opts);
+    for (const auto &name : allBenchmarkNames())
+        sweep.add(name, [name, rc] {
+            return runOnce(
+                SystemConfig::make(PmTech::Reram,
+                                   proposalScheme(runtimeRberFor(
+                                       PmTech::Reram)),
+                                   name),
+                rc);
+        });
+
+    Table t({"workload", "OMV hit rate", "old-data fetches",
+             "PM writes"});
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const auto &out : sweep.run()) {
+        const auto &m = out.value;
+        t.row()
+            .cell(out.label)
+            .pct(m.omvHitRate, 2)
+            .cell(m.oldDataFetches)
+            .cell(m.pmWrites);
+        sum += m.omvHitRate;
+        ++count;
+    }
+    t.print(os);
+    if (count)
+        os << "\naverage OMV hit rate: " << 100.0 * sum / count
+           << "%  (paper: 98.6% average; worst case barnes ~89%"
+              " due to non-inclusive caching)\n";
+
+    // The paper's misses come from LLC churn evicting a block's old
+    // value between write and clean; saturating a 4MB LLC needs the
+    // paper's 500ms warmup, beyond this harness's budget. Scaling the
+    // LLC down reproduces the mechanism at bench scale.
+    os << "\nScaled-cache sensitivity (LLC shrunk to 64KB to"
+          " saturate within the window):\n";
+    RunControl rc2 = rc;
+    rc2.measure = nsToTicks(300000 * scale.time);
+    ParallelSweep<RunMetrics> scaled(1018, opts);
+    for (const std::string name : {"barnes", "hashmap", "ycsb", "tpcc"})
+        scaled.add(name + "@64KB", [name, rc2] {
+            auto cfg = SystemConfig::make(
+                PmTech::Reram,
+                proposalScheme(runtimeRberFor(PmTech::Reram)), name);
+            cfg.cache.llcBytes = 64 * 1024;
+            return runOnce(cfg, rc2);
+        });
+    Table t2({"workload", "OMV hit rate", "old-data fetches"});
+    for (const auto &out : scaled.run())
+        t2.row().cell(out.label).pct(out.value.omvHitRate, 2).cell(
+            out.value.oldDataFetches);
+    t2.print(os);
+}
+
+namespace {
+
+/** One boot-scrub scenario outcome (Section V-B). */
+struct ScrubOutcome
+{
+    std::uint64_t injected = 0;
+    ScrubReport report;
+    bool pristine = false;
+};
+
+Table &
+scrubRow(Table &t, const std::string &label, const ScrubOutcome &s)
+{
+    return t.row()
+        .cell(label)
+        .cell(s.injected)
+        .cell(s.report.bitsCorrected)
+        .cell(std::uint64_t{s.report.chipsRecovered})
+        .cell(s.pristine && !s.report.uncorrectable ? "yes" : "NO");
+}
+
+} // namespace
+
+void
+bootScrubCampaign(std::ostream &os, const SweepOptions &opts,
+                  const BenchScale &scale)
+{
+    const unsigned blocks = scale.scrubBlocks;
+    ParallelSweep<ScrubOutcome> sweep(2018, opts);
+
+    sweep.add("1e-3 RBER (1 year unrefreshed ReRAM)",
+              [blocks](Rng &rng) {
+                  ScrubOutcome s;
+                  PmRank rank(blocks);
+                  rank.initialize(rng);
+                  s.injected = rank.injectErrors(rng, rber::bootTarget);
+                  s.report = rank.bootScrub();
+                  s.pristine = rank.isPristine();
+                  return s;
+              });
+    sweep.add("dead data chip + 1e-4 residual errors",
+              [blocks](Rng &rng) {
+                  ScrubOutcome s;
+                  PmRank rank(blocks);
+                  rank.initialize(rng);
+                  rank.failChip(4, rng);
+                  s.injected = rank.injectErrors(rng, 1e-4);
+                  s.report = rank.bootScrub();
+                  s.pristine = rank.isPristine();
+                  return s;
+              });
+    sweep.add("dead parity chip", [blocks](Rng &rng) {
+        ScrubOutcome s;
+        PmRank rank(blocks);
+        rank.initialize(rng);
+        rank.failChip(8, rng); // parity chip
+        s.report = rank.bootScrub();
+        s.pristine = rank.isPristine();
+        return s;
+    });
+
+    Table t({"scenario", "injected bit errors", "bits corrected",
+             "chips rebuilt", "pristine after"});
+    for (const auto &out : sweep.run())
+        scrubRow(t, out.label, out.value);
+    t.print(os);
+
+    os << "\nScrub wall-time estimate (fetch every VLEW over the"
+          " memory bus):\n";
+    Table s({"capacity per channel", "DDR4-2400 bus", "scrub time"});
+    for (double tb : {0.25, 0.5, 1.0}) {
+        const double seconds =
+            PmRank::scrubSeconds(tb * 1e12, 2400e6 * 8);
+        s.row()
+            .cell(std::to_string(tb) + " TB")
+            .cell("19.2 GB/s")
+            .cell(Table::formatNumber(seconds, 3) + " s");
+    }
+    s.print(os);
+    os << "\nPaper: scrubbing a terabyte channel takes less than"
+          " 1.5 minutes.\n";
+}
+
+namespace {
+
+/** One wear-leveling campaign outcome (Section V-E). */
+struct WearOutcome
+{
+    double imbalance = 0.0;
+    std::uint64_t migrations = 0;
+    double overhead = 0.0;
+};
+
+WearOutcome
+hammerFrames(unsigned interval, unsigned hot_writes)
+{
+    // interval == 0 disables leveling (gap never moves).
+    WearLevelledRank rank(31, interval ? interval : 1u << 30, 1);
+    std::uint8_t data[blockBytes] = {};
+    for (unsigned w = 0; w < hot_writes; ++w) {
+        data[0] = static_cast<std::uint8_t>(w);
+        rank.writeBlock(5, data);
+    }
+    WearOutcome out;
+    out.imbalance = rank.wearImbalance();
+    out.migrations = rank.migrations();
+    // Each migration costs two extra writes (copy + zero).
+    out.overhead =
+        2.0 * out.migrations / static_cast<double>(hot_writes);
+    return out;
+}
+
+} // namespace
+
+void
+wearLevelingCampaign(std::ostream &os, const SweepOptions &opts,
+                     const BenchScale &scale)
+{
+    const unsigned hot_writes = scale.wearWrites;
+    ParallelSweep<WearOutcome> sweep(87, opts);
+    for (unsigned interval : {0u, 64u, 16u, 4u}) {
+        const std::string label =
+            interval ? "interval " + std::to_string(interval) : "off";
+        sweep.add(label, [interval, hot_writes] {
+            return hammerFrames(interval, hot_writes);
+        });
+    }
+
+    Table t({"gap interval (writes)", "peak/mean wear", "migrations",
+             "migration write overhead"});
+    for (const auto &out : sweep.run())
+        t.row()
+            .cell(out.label)
+            .cell(out.value.imbalance, 3)
+            .cell(out.value.migrations)
+            .pct(out.label == "off" ? 0.0 : out.value.overhead);
+    t.print(os);
+    os << "\nPerfect leveling is 1.0; without leveling the hot"
+          " frame takes the full write\nstream (imbalance ~="
+          " frame count). The psi knob trades leveling quality"
+          " for\nmigration bandwidth, as in start-gap [87].\n";
+
+    // Wear-out detection + disable (the [86] flow): one fixed
+    // scenario probing a single rank, inherently sequential.
+    os << "\nWear-out detection via write-verify:\n";
+    PmRank rank(64);
+    Rng rng(9);
+    rank.initialize(rng);
+    rank.setStuckBit(2, 12 * chipBeatBytes + 3, 4, true);
+    rank.setStuckBit(5, 12 * chipBeatBytes + 6, 1, false);
+    std::uint8_t probe[blockBytes];
+    unsigned detected = 0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        for (auto &b : probe)
+            b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+        detected = std::max(detected, rank.writeVerify(12, probe));
+    }
+    os << "  block 12 has 2 stuck cells; write-verify detected "
+       << detected << " bad bit(s) -> disableBlock(12)\n";
+    rank.disableBlock(12);
+    std::uint8_t out[blockBytes];
+    unsigned ok = 0;
+    for (unsigned b = 0; b < 32; ++b) {
+        if (rank.isDisabled(b))
+            continue;
+        if (rank.readBlock(b, out).dataCorrect)
+            ++ok;
+    }
+    os << "  " << ok << "/31 sibling blocks of the VLEW remain"
+       << " fully readable after disabling.\n";
+}
+
+namespace {
+
+/** Read-path tallies for one RBER point of the fault sweep. */
+struct FaultPoint
+{
+    double rber = 0.0;
+    std::uint64_t reads = 0, clean = 0, accepted = 0, vlew = 0,
+                  failed = 0, sdc = 0;
+};
+
+FaultPoint
+faultSweepOne(double rber, Rng &rng, const BenchScale &scale)
+{
+    FaultPoint pt;
+    pt.rber = rber;
+
+    PmRank rank(scale.faultBlocks);
+    rank.initialize(rng);
+
+    std::uint8_t out[blockBytes];
+    for (int round = 0; round < scale.faultRounds; ++round) {
+        rank.injectErrors(rng, rber);
+        for (unsigned b = 0; b < rank.blocks(); ++b) {
+            const auto res = rank.readBlock(b, out);
+            ++pt.reads;
+            switch (res.path) {
+              case ReadPath::Clean: ++pt.clean; break;
+              case ReadPath::RsAccepted: ++pt.accepted; break;
+              case ReadPath::VlewFallback:
+              case ReadPath::ChipRecovered: ++pt.vlew; break;
+              case ReadPath::Failed: ++pt.failed; break;
+            }
+            if (!res.dataCorrect && res.path != ReadPath::Failed)
+                ++pt.sdc;
+        }
+        rank.bootScrub();
+    }
+    return pt;
+}
+
+} // namespace
+
+void
+faultSweep(std::ostream &os, const SweepOptions &opts,
+           const BenchScale &scale)
+{
+    const std::vector<double> rbers = {1e-5, 7e-5, 2e-4,
+                                       5e-4, 1e-3, 2e-3};
+    ParallelSweep<FaultPoint> sweep(16, opts);
+    for (double rber : rbers)
+        sweep.add("rber " + Table::formatNumber(rber, 2),
+                  [rber, scale](Rng &rng) {
+                      return faultSweepOne(rber, rng, scale);
+                  });
+
+    Table t({"RBER", "clean", "RS accepted", "VLEW fallback",
+             "uncorrectable", "SDC"});
+    for (const auto &out : sweep.run()) {
+        const auto &pt = out.value;
+        const double n = static_cast<double>(pt.reads);
+        t.row()
+            .cell(pt.rber, 2)
+            .pct(pt.clean / n, 2)
+            .pct(pt.accepted / n, 2)
+            .pct(pt.vlew / n, 4)
+            .pct(pt.failed / n, 4)
+            .cell(pt.sdc);
+    }
+    t.print(os);
+
+    os << "\nReading: the RS tier absorbs everything through the"
+          " runtime rates; past the\nboot target the VLEW"
+          " fallback carries the load. SDC stays at zero"
+          " throughout —\nthe acceptance threshold converts"
+          " would-be miscorrections into VLEW fetches.\n";
+}
+
+} // namespace nvck

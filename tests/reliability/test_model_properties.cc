@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Property-based tests for the analytic UE/storage model sweeps that
+ * now fan out across the thread pool: physical monotonicity in RBER,
+ * the closed-form storage cost at the paper's VLEW design point, and
+ * — the determinism contract — independence of the results from the
+ * order and grouping in which sweep points are submitted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "reliability/error_model.hh"
+#include "reliability/storage_model.hh"
+#include "reliability/ue_model.hh"
+
+namespace nvck {
+namespace {
+
+const std::vector<double> kRberLadder = {1e-6, 1e-5, 5e-5, 1e-4, 2e-4,
+                                         5e-4, 1e-3, 2e-3, 4e-3};
+
+TEST(ModelProperties, UeRateMonotoneInRber)
+{
+    const auto pts = evaluateProposalSweep(kRberLadder);
+    ASSERT_EQ(pts.size(), kRberLadder.size());
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        SCOPED_TRACE("rber=" + std::to_string(kRberLadder[i]));
+        // More raw errors can never make any failure mode less likely.
+        EXPECT_GE(pts[i].vlewFailureProb, pts[i - 1].vlewFailureProb);
+        EXPECT_GE(pts[i].blockUeBoot, pts[i - 1].blockUeBoot);
+        EXPECT_GE(pts[i].blockSdcRuntime, pts[i - 1].blockSdcRuntime);
+        EXPECT_GE(pts[i].vlewFallbackFraction,
+                  pts[i - 1].vlewFallbackFraction);
+    }
+    // The ladder spans the paper's regimes, so the extremes separate:
+    // runtime rates are harmless, past-boot rates are not.
+    EXPECT_LT(pts.front().blockUeBoot, 1e-15);
+    EXPECT_GT(pts.back().vlewFailureProb,
+              1e6 * pts.front().vlewFailureProb);
+}
+
+TEST(ModelProperties, StorageCostClosedFormAtPaperVlewPoint)
+{
+    StorageTargets in;
+    in.rber = rber::bootTarget;
+    in.ueTarget = rber::ueTargetPerBlock;
+    const auto sol = vlewScheme(in, 256);
+    ASSERT_TRUE(sol.feasible);
+
+    // Total cost decomposes exactly as code bits plus a parity chip
+    // carrying its own share of code bits:
+    //   total = code + (1/dataChips) * (1 + code)
+    EXPECT_DOUBLE_EQ(sol.totalOverhead,
+                     sol.codeOverhead +
+                         (1.0 / in.dataChips) *
+                             (1.0 + sol.codeOverhead));
+    // ... and lands on the paper's 27% sweet spot at 256B words.
+    EXPECT_NEAR(sol.totalOverhead, 0.27, 0.03);
+    EXPECT_GE(sol.t, 21u);
+    EXPECT_LE(sol.t, 25u);
+}
+
+TEST(ModelProperties, VlewSweepIndependentOfSubmissionOrder)
+{
+    StorageTargets in;
+    in.rber = rber::bootTarget;
+    in.ueTarget = rber::ueTargetPerBlock;
+
+    // A deliberately scrambled submission order; every permutation
+    // must yield the bitwise-same solution per size.
+    const std::vector<unsigned> shuffled = {256, 8,   1024, 64,
+                                            16,  512, 32,   128};
+    const auto rows = vlewSweep(in, shuffled);
+    ASSERT_EQ(rows.size(), shuffled.size());
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+        SCOPED_TRACE("size=" + std::to_string(shuffled[i]));
+        const auto solo = vlewScheme(in, shuffled[i]);
+        EXPECT_EQ(rows[i].feasible, solo.feasible);
+        EXPECT_EQ(rows[i].t, solo.t);
+        EXPECT_EQ(rows[i].codeOverhead, solo.codeOverhead);
+        EXPECT_EQ(rows[i].totalOverhead, solo.totalOverhead);
+        EXPECT_EQ(rows[i].scheme, solo.scheme);
+    }
+}
+
+TEST(ModelProperties, UeSweepIndependentOfSubmissionOrder)
+{
+    std::vector<double> shuffled = kRberLadder;
+    // Fixed scramble (reverse + swap) — no runtime randomness so the
+    // test itself is reproducible.
+    std::reverse(shuffled.begin(), shuffled.end());
+    std::swap(shuffled[1], shuffled[4]);
+
+    const auto swept = evaluateProposalSweep(shuffled);
+    ASSERT_EQ(swept.size(), shuffled.size());
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+        SCOPED_TRACE("rber=" + std::to_string(shuffled[i]));
+        const auto solo = evaluateProposal(shuffled[i]);
+        EXPECT_EQ(swept[i].rber, solo.rber);
+        EXPECT_EQ(swept[i].vlewFailureProb, solo.vlewFailureProb);
+        EXPECT_EQ(swept[i].blockUeBoot, solo.blockUeBoot);
+        EXPECT_EQ(swept[i].blockSdcRuntime, solo.blockSdcRuntime);
+        EXPECT_EQ(swept[i].vlewFallbackFraction,
+                  solo.vlewFallbackFraction);
+    }
+}
+
+TEST(ModelProperties, OutageSweepMatchesSerialCalls)
+{
+    const std::vector<int> techs = {static_cast<int>(MemTech::Reram),
+                                    static_cast<int>(MemTech::Pcm3),
+                                    static_cast<int>(MemTech::Pcm2)};
+    const auto swept = maxOutageSweep(techs, 1e-15);
+    ASSERT_EQ(swept.size(), techs.size());
+    for (std::size_t i = 0; i < techs.size(); ++i)
+        EXPECT_EQ(swept[i], maxOutageSeconds(techs[i], 1e-15));
+}
+
+} // namespace
+} // namespace nvck

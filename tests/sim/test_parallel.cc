@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <iterator>
+#include <random>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "reliability/injector.hh"
@@ -152,6 +157,120 @@ TEST(ParallelEngine, InjectionCountersBitIdenticalAcrossWorkers)
         SCOPED_TRACE("workers=" + std::to_string(workers));
         expectSameReport(bch_ref, injectBch(vlew, bc, &pool));
     }
+}
+
+/**
+ * A ParallelSweep whose points sleep for a nondeterministic duration
+ * (scheduling noise) before computing a value from their per-point
+ * substream. Whatever the interleaving, collection order and values
+ * must be byte-identical for 1, 2, and 8 workers.
+ */
+std::vector<SweepOutcome<std::uint64_t>>
+noisySweep(unsigned workers, SweepOptions opts = SweepOptions{})
+{
+    constexpr int kPoints = 24;
+    ThreadPool pool(workers);
+    opts.pool = &pool;
+    ParallelSweep<std::uint64_t> sweep(99, opts);
+    for (int i = 0; i < kPoints; ++i)
+        sweep.add("pt-" + std::to_string(i), [](Rng &rng) {
+            // Deliberately nondeterministic sleep: results may not
+            // depend on who finishes when.
+            thread_local std::mt19937 jitter{std::random_device{}()};
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(jitter() % 1500));
+            std::uint64_t v = 0;
+            for (int draw = 0; draw < 8; ++draw)
+                v = v * 31 + rng.next();
+            return v;
+        });
+    return sweep.run();
+}
+
+TEST(ParallelSweep, OrderAndValuesSurviveRandomWorkerSleep)
+{
+    const auto ref = noisySweep(1);
+    ASSERT_EQ(ref.size(), 24u);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(ref[i].label, "pt-" + std::to_string(i));
+        EXPECT_EQ(ref[i].index, i);
+    }
+
+    for (unsigned workers : {2u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        const auto got = noisySweep(workers);
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            EXPECT_EQ(got[i].label, ref[i].label) << "point " << i;
+            EXPECT_EQ(got[i].index, ref[i].index) << "point " << i;
+            EXPECT_EQ(got[i].value, ref[i].value) << "point " << i;
+        }
+    }
+}
+
+TEST(ParallelSweep, FilterAndPointsPreservePerPointSubstreams)
+{
+    const auto full = noisySweep(2);
+
+    // --filter: the surviving point keeps the stream (and value) it
+    // had in the full sweep — substreams key off declaration index.
+    SweepOptions filter;
+    filter.filter = "pt-7"; // matches pt-7 only (no pt-7x exists)
+    const auto filtered = noisySweep(8, filter);
+    ASSERT_EQ(filtered.size(), 1u);
+    EXPECT_EQ(filtered[0].label, "pt-7");
+    EXPECT_EQ(filtered[0].index, 7u);
+    EXPECT_EQ(filtered[0].value, full[7].value);
+
+    // --points: a truncated run reproduces the full run's prefix.
+    SweepOptions head;
+    head.points = 5;
+    const auto prefix = noisySweep(8, head);
+    ASSERT_EQ(prefix.size(), 5u);
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+        EXPECT_EQ(prefix[i].label, full[i].label);
+        EXPECT_EQ(prefix[i].value, full[i].value) << "point " << i;
+    }
+}
+
+TEST(ParallelSweep, AcceptsPlainClosuresAndReportsTiming)
+{
+    ThreadPool pool(2);
+    SweepOptions opts;
+    opts.pool = &pool;
+    ParallelSweep<int> sweep(0, opts);
+    for (int i = 0; i < 6; ++i)
+        sweep.add("analytic-" + std::to_string(i),
+                  [i] { return i * i; }); // no Rng parameter
+    const auto out = sweep.run();
+    ASSERT_EQ(out.size(), 6u);
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(out[i].value, i * i);
+        EXPECT_GE(out[i].millis, 0.0);
+    }
+}
+
+TEST(SweepOptions, ParseRecognizesEveryFlagForm)
+{
+    const char *argv[] = {"bench",          "--points", "3",
+                          "--filter=hash",  "--timing", "--jobs",
+                          "2"};
+    const auto opts =
+        SweepOptions::parse(static_cast<int>(std::size(argv)), argv);
+    EXPECT_EQ(opts.points, 3u);
+    EXPECT_EQ(opts.filter, "hash");
+    EXPECT_TRUE(opts.timing);
+    EXPECT_EQ(opts.jobs, 2u);
+    EXPECT_FALSE(opts.list);
+
+    const char *eq[] = {"bench", "--points=12", "--filter", "omv",
+                        "--list"};
+    const auto alt =
+        SweepOptions::parse(static_cast<int>(std::size(eq)), eq);
+    EXPECT_EQ(alt.points, 12u);
+    EXPECT_EQ(alt.filter, "omv");
+    EXPECT_TRUE(alt.list);
+    EXPECT_FALSE(alt.timing);
 }
 
 TEST(ParallelEngine, SdcMonteCarloDeterministicAndNearAnalytic)
