@@ -1,154 +1,271 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of the software codec substrate:
- * encode/decode throughput of the paper's three code points — the
- * per-block RS(72,64), the 22-EC VLEW BCH, and the baseline 14-EC
- * per-block BCH — under clean and errored inputs.
+ * Throughput microbenchmark of the software codec substrate across
+ * both codec kernels (Scalar reference vs the default Sliced
+ * table-driven kernels). For each of the paper's three code points —
+ * the 22-EC VLEW BCH(2048+264), the baseline per-block 14-EC
+ * BCH(512+140), and the per-block RS(72,64) — it measures encode,
+ * clean-word decode (syndrome check), and corrupt-word decode (full
+ * BM + Chien) in MB/s of protected data, prints a comparison table
+ * with per-op speedups, and emits a machine-readable JSON file for
+ * trend tracking in CI.
+ *
+ * Usage: bench_codec_throughput [--quick] [--json PATH]
+ *   --quick    shorter timing windows (CI smoke).
+ *   --json P   write results to P (default BENCH_codec_throughput.json).
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/rng.hh"
+#include "common/table.hh"
 #include "ecc/bch.hh"
+#include "ecc/kernel.hh"
 #include "ecc/rs.hh"
 
 namespace {
 
 using namespace nvck;
 
-void
-BM_RsEncode(benchmark::State &state)
-{
-    const RsCodec rs(64, 8);
-    Rng rng(1);
-    std::vector<GfElem> data(64);
-    for (auto &s : data)
-        s = static_cast<GfElem>(rng.below(256));
-    for (auto _ : state) {
-        auto cw = rs.encode(data);
-        benchmark::DoNotOptimize(cw);
-    }
-    state.SetBytesProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_RsEncode);
+/** Defeats dead-code elimination across timed calls. */
+volatile std::uint64_t g_sink = 0;
 
-void
-BM_RsDecodeClean(benchmark::State &state)
+struct OpResult
 {
-    const RsCodec rs(64, 8);
-    Rng rng(2);
-    std::vector<GfElem> data(64);
-    for (auto &s : data)
-        s = static_cast<GfElem>(rng.below(256));
-    const auto clean = rs.encode(data);
-    for (auto _ : state) {
-        auto cw = clean;
-        auto res = rs.decode(cw);
-        benchmark::DoNotOptimize(res);
-    }
-    state.SetBytesProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_RsDecodeClean);
+    double mbps = 0.0;
+    double seconds = 0.0;
+    std::uint64_t iters = 0;
+};
 
-void
-BM_RsDecodeErrors(benchmark::State &state)
+/** One timing record: code point x kernel x operation. */
+struct Record
 {
-    const unsigned errors = static_cast<unsigned>(state.range(0));
-    const RsCodec rs(64, 8);
-    Rng rng(3);
-    std::vector<GfElem> data(64);
-    for (auto &s : data)
-        s = static_cast<GfElem>(rng.below(256));
-    const auto clean = rs.encode(data);
-    for (auto _ : state) {
-        auto cw = clean;
-        for (unsigned e = 0; e < errors; ++e)
-            cw[5 + e * 11] ^= static_cast<GfElem>(1 + (e & 0xFE));
-        auto res = rs.decode(cw);
-        benchmark::DoNotOptimize(res);
-    }
-}
-BENCHMARK(BM_RsDecodeErrors)->Arg(1)->Arg(2)->Arg(4);
+    std::string code;
+    std::string kernel;
+    std::string op;
+    OpResult res;
+};
 
-void
-BM_RsErasureChip(benchmark::State &state)
+/**
+ * Run @p op until @p min_seconds of wall time accumulate (one warmup
+ * call first) and convert to MB/s of protected payload.
+ */
+template <typename F>
+OpResult
+measure(double min_seconds, double bytes_per_op, F &&op)
 {
-    const RsCodec rs(64, 8);
-    Rng rng(4);
-    std::vector<GfElem> data(64);
-    for (auto &s : data)
-        s = static_cast<GfElem>(rng.below(256));
-    const auto clean = rs.encode(data);
-    std::vector<std::uint32_t> erasures;
-    for (std::uint32_t p = 8; p < 16; ++p)
-        erasures.push_back(p);
-    for (auto _ : state) {
-        auto cw = clean;
-        for (auto p : erasures)
-            cw[p] = static_cast<GfElem>(rng.next() & 0xFF);
-        auto res = rs.decode(cw, erasures);
-        benchmark::DoNotOptimize(res);
-    }
+    using clock = std::chrono::steady_clock;
+    op(); // warmup: faults tables in, primes caches
+    OpResult out;
+    const auto start = clock::now();
+    do {
+        for (int i = 0; i < 16; ++i)
+            op();
+        out.iters += 16;
+        out.seconds =
+            std::chrono::duration<double>(clock::now() - start).count();
+    } while (out.seconds < min_seconds);
+    out.mbps = bytes_per_op * static_cast<double>(out.iters) /
+               out.seconds / 1e6;
+    return out;
 }
-BENCHMARK(BM_RsErasureChip);
 
+/** Encode / decode-clean / decode-corrupt for one BCH instance. */
 void
-BM_VlewEncode(benchmark::State &state)
+benchBch(std::vector<Record> &records, const std::string &name,
+         unsigned k, unsigned t, CodecKernel kernel, double min_seconds)
 {
-    const BchCodec vlew(2048, 22);
-    Rng rng(5);
-    BitVec data(2048);
+    const BchCodec codec(k, t, 0, kernel);
+    const double data_bytes = k / 8.0;
+    Rng rng(0xB37 + k + t);
+    BitVec data(k);
     data.randomize(rng);
-    for (auto _ : state) {
-        auto check = vlew.encodeDelta(data);
-        benchmark::DoNotOptimize(check);
-    }
-    state.SetBytesProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 256);
+    const BitVec clean = codec.encode(data);
+
+    // Pre-corrupt a pool of words with t errors each so the timed
+    // region holds only copy + decode.
+    std::vector<BitVec> pool(16, clean);
+    for (auto &w : pool)
+        w.injectExactErrors(rng, t);
+
+    const char *kname = codecKernelName(kernel);
+    records.push_back(
+        {name, kname, "encode",
+         measure(min_seconds, data_bytes, [&] {
+             g_sink = g_sink + codec.encodeDelta(data).popcount();
+         })});
+    records.push_back(
+        {name, kname, "decode_clean",
+         measure(min_seconds, data_bytes, [&] {
+             BitVec w = clean;
+             g_sink = g_sink + codec.decode(w).corrections;
+         })});
+    std::size_t next = 0;
+    records.push_back(
+        {name, kname, "decode_corrupt",
+         measure(min_seconds, data_bytes, [&] {
+             BitVec w = pool[next++ % pool.size()];
+             g_sink = g_sink + codec.decode(w).corrections;
+         })});
 }
-BENCHMARK(BM_VlewEncode);
+
+/** Same three operations for the RS code point. */
+void
+benchRs(std::vector<Record> &records, const std::string &name,
+        unsigned k, unsigned r, CodecKernel kernel, double min_seconds)
+{
+    const RsCodec codec(k, r, 8, kernel);
+    const double data_bytes = k;
+    Rng rng(0x25 + k + r);
+    std::vector<GfElem> data(k);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.below(256));
+    const auto clean = codec.encode(data);
+
+    std::vector<std::vector<GfElem>> pool(16, clean);
+    for (auto &w : pool)
+        for (unsigned e = 0; e < codec.t(); ++e)
+            w[rng.below(w.size())] ^=
+                static_cast<GfElem>(rng.below(255) + 1);
+
+    const char *kname = codecKernelName(kernel);
+    records.push_back({name, kname, "encode",
+                       measure(min_seconds, data_bytes, [&] {
+                           g_sink = g_sink + codec.encode(data).back();
+                       })});
+    records.push_back({name, kname, "decode_clean",
+                       measure(min_seconds, data_bytes, [&] {
+                           auto w = clean;
+                           g_sink = g_sink + codec.decode(w).corrections;
+                       })});
+    std::size_t next = 0;
+    records.push_back({name, kname, "decode_corrupt",
+                       measure(min_seconds, data_bytes, [&] {
+                           auto w = pool[next++ % pool.size()];
+                           g_sink = g_sink + codec.decode(w).corrections;
+                       })});
+}
+
+const Record *
+find(const std::vector<Record> &records, const std::string &code,
+     const std::string &kernel, const std::string &op)
+{
+    for (const auto &r : records)
+        if (r.code == code && r.kernel == kernel && r.op == op)
+            return &r;
+    return nullptr;
+}
 
 void
-BM_VlewDecode(benchmark::State &state)
+writeJson(const std::vector<Record> &records, const std::string &path)
 {
-    const unsigned errors = static_cast<unsigned>(state.range(0));
-    const BchCodec vlew(2048, 22);
-    Rng rng(6);
-    BitVec data(2048);
-    data.randomize(rng);
-    const BitVec clean = vlew.encode(data);
-    for (auto _ : state) {
-        state.PauseTiming();
-        BitVec noisy = clean;
-        noisy.injectExactErrors(rng, errors);
-        state.ResumeTiming();
-        auto res = vlew.decode(noisy);
-        benchmark::DoNotOptimize(res);
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
     }
-}
-BENCHMARK(BM_VlewDecode)->Arg(0)->Arg(2)->Arg(11)->Arg(22);
-
-void
-BM_BaselineBchDecode(benchmark::State &state)
-{
-    const BchCodec base(512, 14);
-    Rng rng(7);
-    BitVec data(512);
-    data.randomize(rng);
-    const BitVec clean = base.encode(data);
-    for (auto _ : state) {
-        state.PauseTiming();
-        BitVec noisy = clean;
-        noisy.injectExactErrors(rng, 7);
-        state.ResumeTiming();
-        auto res = base.decode(noisy);
-        benchmark::DoNotOptimize(res);
+    os << "{\n  \"benchmark\": \"codec_throughput\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        os << "    {\"code\": \"" << r.code << "\", \"kernel\": \""
+           << r.kernel << "\", \"op\": \"" << r.op
+           << "\", \"mbps\": " << r.res.mbps
+           << ", \"iters\": " << r.res.iters
+           << ", \"seconds\": " << r.res.seconds << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
     }
+    os << "  ],\n  \"speedup\": {\n";
+    const std::string codes[] = {"bch_vlew_2048_22", "bch_base_512_14",
+                                 "rs_72_64"};
+    const std::string ops[] = {"encode", "decode_clean",
+                               "decode_corrupt"};
+    for (std::size_t c = 0; c < 3; ++c) {
+        os << "    \"" << codes[c] << "\": {";
+        for (std::size_t o = 0; o < 3; ++o) {
+            const Record *s = find(records, codes[c], "scalar", ops[o]);
+            const Record *f = find(records, codes[c], "sliced", ops[o]);
+            const double speedup =
+                (s && f && s->res.mbps > 0) ? f->res.mbps / s->res.mbps
+                                            : 0.0;
+            os << "\"" << ops[o] << "\": " << speedup
+               << (o + 1 < 3 ? ", " : "");
+        }
+        os << "}" << (c + 1 < 3 ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+    std::cout << "wrote " << path << "\n";
 }
-BENCHMARK(BM_BaselineBchDecode);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    double min_seconds = 0.25;
+    std::string json_path = "BENCH_codec_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            min_seconds = 0.04;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--quick] [--json PATH]\n";
+            return 2;
+        }
+    }
+
+    std::vector<Record> records;
+    for (const CodecKernel kernel :
+         {CodecKernel::Scalar, CodecKernel::Sliced}) {
+        benchBch(records, "bch_vlew_2048_22", 2048, 22, kernel,
+                 min_seconds);
+        benchBch(records, "bch_base_512_14", 512, 14, kernel,
+                 min_seconds);
+        benchRs(records, "rs_72_64", 64, 8, kernel, min_seconds);
+    }
+
+    Table table({"code", "op", "scalar MB/s", "sliced MB/s", "speedup"});
+    for (const std::string &code :
+         {std::string("bch_vlew_2048_22"), std::string("bch_base_512_14"),
+          std::string("rs_72_64")}) {
+        for (const std::string &op :
+             {std::string("encode"), std::string("decode_clean"),
+              std::string("decode_corrupt")}) {
+            const Record *s = find(records, code, "scalar", op);
+            const Record *f = find(records, code, "sliced", op);
+            table.row()
+                .cell(code)
+                .cell(op)
+                .cell(s->res.mbps)
+                .cell(f->res.mbps)
+                .cell(f->res.mbps / s->res.mbps);
+        }
+    }
+    table.print(std::cout);
+
+    const double enc = find(records, "bch_vlew_2048_22", "sliced",
+                            "encode")
+                           ->res.mbps /
+                       find(records, "bch_vlew_2048_22", "scalar",
+                            "encode")
+                           ->res.mbps;
+    const double dec = find(records, "bch_vlew_2048_22", "sliced",
+                            "decode_clean")
+                           ->res.mbps /
+                       find(records, "bch_vlew_2048_22", "scalar",
+                            "decode_clean")
+                           ->res.mbps;
+    std::cout << "VLEW BCH(2048,t=22) sliced speedup: encode "
+              << Table::formatNumber(enc, 3) << "x, clean decode "
+              << Table::formatNumber(dec, 3) << "x\n";
+
+    writeJson(records, json_path);
+    return 0;
+}

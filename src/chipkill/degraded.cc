@@ -29,13 +29,11 @@ DegradedRank::initialize(Rng &rng)
         byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
     for (unsigned v = 0; v < numVlews; ++v) {
         BitVec data(vlewCodec.k());
-        const std::uint8_t *bytes =
-            &golden[static_cast<std::size_t>(v) * geom.vlewDataBytes];
-        for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-            data.setBits(b * 8, 8, bytes[b]);
+        data.setBytes(
+            0, &golden[static_cast<std::size_t>(v) * geom.vlewDataBytes],
+            geom.vlewDataBytes);
         const BitVec check = vlewCodec.encodeDelta(data);
-        for (unsigned i = 0; i < vlewCodec.r(); ++i)
-            goldenCode[v].set(i, check.get(i));
+        goldenCode[v].copyRange(0, check, 0, vlewCodec.r());
     }
     store = golden;
     codeStore = goldenCode;
@@ -54,14 +52,12 @@ DegradedRank::takeOver(const PmRank &healthy, unsigned failed_chip)
             b, &out.golden[static_cast<std::size_t>(b) * blockBytes]);
     for (unsigned v = 0; v < out.numVlews; ++v) {
         BitVec data(out.vlewCodec.k());
-        const std::uint8_t *bytes =
-            &out.golden[static_cast<std::size_t>(v) *
-                        out.geom.vlewDataBytes];
-        for (unsigned byte = 0; byte < out.geom.vlewDataBytes; ++byte)
-            data.setBits(byte * 8, 8, bytes[byte]);
+        data.setBytes(0,
+                      &out.golden[static_cast<std::size_t>(v) *
+                                  out.geom.vlewDataBytes],
+                      out.geom.vlewDataBytes);
         const BitVec check = out.vlewCodec.encodeDelta(data);
-        for (unsigned i = 0; i < out.vlewCodec.r(); ++i)
-            out.goldenCode[v].set(i, check.get(i));
+        out.goldenCode[v].copyRange(0, check, 0, out.vlewCodec.r());
     }
     out.store = out.golden;
     out.codeStore = out.goldenCode;
@@ -73,14 +69,10 @@ DegradedRank::assembleVlew(unsigned vlew) const
 {
     const unsigned r = vlewCodec.r();
     BitVec cw(vlewCodec.n());
-    const BitVec &code = codeStore[vlew];
-    for (unsigned i = 0; i < r; ++i)
-        if (code.get(i))
-            cw.set(i, true);
-    const std::uint8_t *bytes =
-        &store[static_cast<std::size_t>(vlew) * geom.vlewDataBytes];
-    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-        cw.setBits(r + b * 8, 8, bytes[b]);
+    cw.copyRange(0, codeStore[vlew], 0, r);
+    cw.setBytes(
+        r, &store[static_cast<std::size_t>(vlew) * geom.vlewDataBytes],
+        geom.vlewDataBytes);
     return cw;
 }
 
@@ -88,13 +80,10 @@ void
 DegradedRank::storeVlew(unsigned vlew, const BitVec &cw)
 {
     const unsigned r = vlewCodec.r();
-    BitVec &code = codeStore[vlew];
-    for (unsigned i = 0; i < r; ++i)
-        code.set(i, cw.get(i));
-    std::uint8_t *bytes =
-        &store[static_cast<std::size_t>(vlew) * geom.vlewDataBytes];
-    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-        bytes[b] = static_cast<std::uint8_t>(cw.getBits(r + b * 8, 8));
+    codeStore[vlew].copyRange(0, cw, 0, r);
+    cw.getBytes(
+        r, &store[static_cast<std::size_t>(vlew) * geom.vlewDataBytes],
+        geom.vlewDataBytes);
 }
 
 void
@@ -117,8 +106,8 @@ DegradedRank::writeBlock(unsigned block, const std::uint8_t *new_data)
     }
 
     BitVec delta_word(vlewCodec.k());
-    for (unsigned b = 0; b < blockBytes; ++b)
-        delta_word.setBits((offset + b) * 8, 8, delta[b]);
+    delta_word.setBytes(static_cast<std::size_t>(offset) * 8, delta,
+                        blockBytes);
     const BitVec code_delta = vlewCodec.encodeDelta(delta_word);
     codeStore[vlew] ^= code_delta;
     goldenCode[vlew] ^= code_delta;

@@ -61,14 +61,9 @@ PmRank::assembleVlew(unsigned chip, unsigned vlew) const
 {
     const unsigned r = vlewCodec.r();
     BitVec cw(vlewCodec.n());
-    const BitVec &code = codeStore[chip][vlew];
-    for (unsigned i = 0; i < r; ++i)
-        if (code.get(i))
-            cw.set(i, true);
-    const std::uint8_t *bytes =
-        &chipStore[chip][vlew * geom.vlewDataBytes];
-    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-        cw.setBits(r + b * 8, 8, bytes[b]);
+    cw.copyRange(0, codeStore[chip][vlew], 0, r);
+    cw.setBytes(r, &chipStore[chip][vlew * geom.vlewDataBytes],
+                geom.vlewDataBytes);
     return cw;
 }
 
@@ -76,12 +71,9 @@ void
 PmRank::storeVlew(unsigned chip, unsigned vlew, const BitVec &cw)
 {
     const unsigned r = vlewCodec.r();
-    BitVec &code = codeStore[chip][vlew];
-    for (unsigned i = 0; i < r; ++i)
-        code.set(i, cw.get(i));
-    std::uint8_t *bytes = &chipStore[chip][vlew * geom.vlewDataBytes];
-    for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-        bytes[b] = static_cast<std::uint8_t>(cw.getBits(r + b * 8, 8));
+    codeStore[chip][vlew].copyRange(0, cw, 0, r);
+    cw.getBytes(r, &chipStore[chip][vlew * geom.vlewDataBytes],
+                geom.vlewDataBytes);
     enforceStuck(chip,
                  static_cast<std::uint64_t>(vlew) * geom.vlewDataBytes,
                  static_cast<std::uint64_t>(vlew + 1) *
@@ -188,14 +180,10 @@ PmRank::initialize(Rng &rng)
     for (unsigned chip = 0; chip <= dataChips; ++chip) {
         for (unsigned v = 0; v < numVlews; ++v) {
             BitVec data(vlewCodec.k());
-            const std::uint8_t *bytes =
-                &goldenStore[chip][v * geom.vlewDataBytes];
-            for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-                data.setBits(b * 8, 8, bytes[b]);
+            data.setBytes(0, &goldenStore[chip][v * geom.vlewDataBytes],
+                          geom.vlewDataBytes);
             const BitVec check = vlewCodec.encodeDelta(data);
-            BitVec &dst = goldenCode[chip][v];
-            for (unsigned i = 0; i < r; ++i)
-                dst.set(i, check.get(i));
+            goldenCode[chip][v].copyRange(0, check, 0, r);
         }
     }
     chipStore = goldenStore;
@@ -272,17 +260,15 @@ PmRank::applyChipDelta(unsigned chip, unsigned block,
     const unsigned offset_bytes =
         (block % blocksPerVlew) * chipBeatBytes;
     BitVec delta_word(vlewCodec.k());
-    for (unsigned b = 0; b < chipBeatBytes; ++b)
-        delta_word.setBits((offset_bytes + b) * 8, 8, delta8[b]);
+    delta_word.setBytes(offset_bytes * 8, delta8, chipBeatBytes);
     const BitVec code_delta = vlewCodec.encodeDelta(delta_word);
     codeStore[chip][vlew] ^= code_delta;
     if (intended8 == delta8) {
         goldenCode[chip][vlew] ^= code_delta;
     } else {
         BitVec intended_word(vlewCodec.k());
-        for (unsigned b = 0; b < chipBeatBytes; ++b)
-            intended_word.setBits((offset_bytes + b) * 8, 8,
-                                  intended8[b]);
+        intended_word.setBytes(offset_bytes * 8, intended8,
+                               chipBeatBytes);
         goldenCode[chip][vlew] ^= vlewCodec.encodeDelta(intended_word);
     }
 }
@@ -486,14 +472,10 @@ PmRank::rebuildDataChip(unsigned chip, ScrubReport &report)
     // Re-encode the rebuilt chip's VLEW code bits.
     for (unsigned v = 0; v < numVlews; ++v) {
         BitVec data(vlewCodec.k());
-        const std::uint8_t *bytes =
-            &chipStore[chip][v * geom.vlewDataBytes];
-        for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-            data.setBits(b * 8, 8, bytes[b]);
+        data.setBytes(0, &chipStore[chip][v * geom.vlewDataBytes],
+                      geom.vlewDataBytes);
         const BitVec check = vlewCodec.encodeDelta(data);
-        BitVec &dst = codeStore[chip][v];
-        for (unsigned i = 0; i < vlewCodec.r(); ++i)
-            dst.set(i, check.get(i));
+        codeStore[chip][v].copyRange(0, check, 0, vlewCodec.r());
     }
     return true;
 }
@@ -515,14 +497,10 @@ PmRank::rebuildParityChip()
     }
     for (unsigned v = 0; v < numVlews; ++v) {
         BitVec data(vlewCodec.k());
-        const std::uint8_t *bytes =
-            &chipStore[dataChips][v * geom.vlewDataBytes];
-        for (unsigned b = 0; b < geom.vlewDataBytes; ++b)
-            data.setBits(b * 8, 8, bytes[b]);
+        data.setBytes(0, &chipStore[dataChips][v * geom.vlewDataBytes],
+                      geom.vlewDataBytes);
         const BitVec check = vlewCodec.encodeDelta(data);
-        BitVec &dst = codeStore[dataChips][v];
-        for (unsigned i = 0; i < vlewCodec.r(); ++i)
-            dst.set(i, check.get(i));
+        codeStore[dataChips][v].copyRange(0, check, 0, vlewCodec.r());
     }
 }
 

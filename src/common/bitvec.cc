@@ -128,4 +128,76 @@ BitVec::setBits(std::size_t idx, unsigned width, std::uint64_t value)
     }
 }
 
+void
+BitVec::copyRange(std::size_t dst_idx, const BitVec &src,
+                  std::size_t src_idx, std::size_t count)
+{
+    NVCK_ASSERT(dst_idx + count <= numBits, "copyRange dst out of range");
+    NVCK_ASSERT(src_idx + count <= src.numBits,
+                "copyRange src out of range");
+    // Word-aligned fast path: whole-word copies plus a masked tail.
+    if ((dst_idx & 63) == 0 && (src_idx & 63) == 0) {
+        const std::size_t dw = dst_idx >> 6;
+        const std::size_t sw = src_idx >> 6;
+        const std::size_t full = count >> 6;
+        for (std::size_t i = 0; i < full; ++i)
+            words[dw + i] = src.words[sw + i];
+        const unsigned tail = count & 63;
+        if (tail != 0) {
+            const std::uint64_t mask = (1ull << tail) - 1;
+            words[dw + full] = (words[dw + full] & ~mask) |
+                               (src.words[sw + full] & mask);
+        }
+        return;
+    }
+    // Unaligned: move 64-bit chunks through the field accessors.
+    std::size_t done = 0;
+    while (done < count) {
+        const unsigned width = static_cast<unsigned>(
+            count - done < 64 ? count - done : 64);
+        setBits(dst_idx + done, width,
+                src.getBits(src_idx + done, width));
+        done += width;
+    }
+}
+
+void
+BitVec::setBytes(std::size_t idx, const std::uint8_t *bytes,
+                 std::size_t nbytes)
+{
+    NVCK_ASSERT(idx + nbytes * 8 <= numBits, "setBytes out of range");
+    std::size_t b = 0;
+    for (; b + 8 <= nbytes; b += 8) {
+        std::uint64_t v = 0;
+        for (unsigned j = 0; j < 8; ++j)
+            v |= static_cast<std::uint64_t>(bytes[b + j]) << (8 * j);
+        setBits(idx + b * 8, 64, v);
+    }
+    if (b < nbytes) {
+        std::uint64_t v = 0;
+        for (std::size_t j = 0; b + j < nbytes; ++j)
+            v |= static_cast<std::uint64_t>(bytes[b + j]) << (8 * j);
+        setBits(idx + b * 8, static_cast<unsigned>((nbytes - b) * 8), v);
+    }
+}
+
+void
+BitVec::getBytes(std::size_t idx, std::uint8_t *bytes,
+                 std::size_t nbytes) const
+{
+    NVCK_ASSERT(idx + nbytes * 8 <= numBits, "getBytes out of range");
+    std::size_t b = 0;
+    for (; b + 8 <= nbytes; b += 8) {
+        const std::uint64_t v = getBits(idx + b * 8, 64);
+        for (unsigned j = 0; j < 8; ++j)
+            bytes[b + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+    if (b < nbytes) {
+        const std::uint64_t v =
+            getBits(idx + b * 8, static_cast<unsigned>((nbytes - b) * 8));
+        for (std::size_t j = 0; b + j < nbytes; ++j)
+            bytes[b + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+}
+
 } // namespace nvck

@@ -91,6 +91,26 @@ class BitVec
     /** Write the low @p width bits of @p value at bit @p idx. */
     void setBits(std::size_t idx, unsigned width, std::uint64_t value);
 
+    /**
+     * Copy @p count bits from @p src (starting at @p src_idx) into this
+     * vector starting at @p dst_idx, moving up to 64 bits per step.
+     * Ranges must lie within the respective vectors; the vectors may be
+     * the same object only when the ranges do not overlap.
+     */
+    void copyRange(std::size_t dst_idx, const BitVec &src,
+                   std::size_t src_idx, std::size_t count);
+
+    /**
+     * Pack @p nbytes bytes (LSB-first, byte b landing at bits
+     * [idx + 8b, idx + 8b + 8)) starting at bit @p idx.
+     */
+    void setBytes(std::size_t idx, const std::uint8_t *bytes,
+                  std::size_t nbytes);
+
+    /** Unpack @p nbytes bytes starting at bit @p idx into @p bytes. */
+    void getBytes(std::size_t idx, std::uint8_t *bytes,
+                  std::size_t nbytes) const;
+
   private:
     std::size_t numBits = 0;
     std::vector<std::uint64_t> words;

@@ -71,12 +71,13 @@ pickFieldDegree(unsigned data_bits, unsigned correct_bits)
 } // namespace
 
 BchCodec::BchCodec(unsigned data_bits, unsigned correct_bits,
-                   unsigned field_degree)
+                   unsigned field_degree, CodecKernel kernel)
     : dataBits(data_bits),
       correctBits(correct_bits),
       checkBits(0),
       gf(field_degree ? field_degree
-                      : pickFieldDegree(data_bits, correct_bits))
+                      : pickFieldDegree(data_bits, correct_bits)),
+      kern(kernel)
 {
     NVCK_ASSERT(correct_bits >= 1, "BCH needs t >= 1");
 
@@ -99,6 +100,35 @@ BchCodec::BchCodec(unsigned data_bits, unsigned correct_bits,
     genWords.resize((checkBits + 64) / 64, 0);
     genWords[checkBits >> 6] &= ~(1ull << (checkBits & 63));
 
+    remWords = (checkBits + 63) / 64;
+    remTopMask = (checkBits & 63) != 0
+                     ? (1ull << (checkBits & 63)) - 1
+                     : ~0ull;
+
+    // Chien-search strides alpha^(-j) = alpha^(order - j), hoisted out
+    // of the per-position loop (used by both kernels).
+    chienStride.resize(correctBits + 1, 1);
+    for (unsigned j = 1; j <= correctBits; ++j)
+        chienStride[j] = gf.alphaPow(gf.order() - j);
+
+    setKernel(kernel);
+}
+
+void
+BchCodec::setKernel(CodecKernel kernel)
+{
+    kern = kernel;
+    if (kern == CodecKernel::Scalar)
+        buildScalarTables();
+    else
+        buildSlicedTables();
+}
+
+void
+BchCodec::buildScalarTables()
+{
+    if (!oddSynTables.empty())
+        return;
     // Precompute alpha^(j*i) tables for odd syndrome indices j, flattened
     // per j over codeword bit positions i.
     const unsigned n_bits = dataBits + checkBits;
@@ -117,18 +147,151 @@ BchCodec::BchCodec(unsigned data_bits, unsigned correct_bits,
     }
 }
 
+void
+BchCodec::buildSlicedTables()
+{
+    if (!synByteTab.empty())
+        return;
+
+    // Slicing-by-8 remainder updates: encTable[v] = (v(x) * x^r) mod g,
+    // built by feeding the byte through the reference LFSR (high bit
+    // first), so the table is bit-identical to eight serial steps. The
+    // byte path needs r >= 8; tiny codes keep the serial loop.
+    if (checkBits >= 8) {
+        encTable.assign(256u * remWords, 0);
+        std::vector<std::uint64_t> rem(remWords);
+        for (unsigned v = 0; v < 256; ++v) {
+            std::fill(rem.begin(), rem.end(), 0);
+            for (unsigned j = 8; j-- > 0;)
+                stepBit(rem, ((v >> j) & 1) != 0);
+            std::copy(rem.begin(), rem.end(),
+                      encTable.begin() + v * remWords);
+        }
+    }
+
+    // Per-byte partial syndromes: synByteTab[j][v] = sum over set bits
+    // b of v of alpha^((2j+1) * b), combined across bytes by Horner
+    // steps of stride alpha^(8 * (2j+1)).
+    synByteTab.assign(static_cast<std::size_t>(correctBits) * 256, 0);
+    synStride.resize(correctBits);
+    for (unsigned idx = 0; idx < correctBits; ++idx) {
+        const std::uint64_t j = 2ull * idx + 1;
+        GfElem bit_contrib[8];
+        for (unsigned b = 0; b < 8; ++b)
+            bit_contrib[b] = gf.alphaPow((j * b) % gf.order());
+        GfElem *tab = &synByteTab[static_cast<std::size_t>(idx) * 256];
+        tab[0] = 0;
+        for (unsigned v = 1; v < 256; ++v)
+            tab[v] = tab[v & (v - 1)] ^
+                     bit_contrib[std::countr_zero(v)];
+        synStride[idx] = gf.alphaPow((8 * j) % gf.order());
+    }
+}
+
+std::size_t
+BchCodec::tableBytes() const
+{
+    std::size_t bytes = genWords.size() * sizeof(std::uint64_t) +
+                        chienStride.size() * sizeof(GfElem);
+    if (kern == CodecKernel::Scalar) {
+        for (const auto &tab : oddSynTables)
+            bytes += tab.size() * sizeof(GfElem);
+    } else {
+        bytes += encTable.size() * sizeof(std::uint64_t) +
+                 synByteTab.size() * sizeof(GfElem) +
+                 synStride.size() * sizeof(GfElem);
+    }
+    return bytes;
+}
+
+void
+BchCodec::stepBit(std::vector<std::uint64_t> &rem, bool in) const
+{
+    const unsigned top = checkBits - 1;
+    const bool feedback =
+        in ^ (((rem[top >> 6] >> (top & 63)) & 1) != 0);
+    for (unsigned w = remWords; w-- > 1;)
+        rem[w] = (rem[w] << 1) | (rem[w - 1] >> 63);
+    rem[0] <<= 1;
+    rem[remWords - 1] &= remTopMask;
+    if (feedback) {
+        for (unsigned w = 0; w < remWords; ++w)
+            rem[w] ^= genWords[w];
+    }
+}
+
+std::vector<std::uint64_t>
+BchCodec::scalarResidue(const std::vector<std::uint64_t> &words,
+                        std::size_t nbits) const
+{
+    // LFSR division: remainder of p(x) * x^r by g(x), processing bits
+    // from the highest coefficient downward.
+    std::vector<std::uint64_t> rem(remWords, 0);
+    for (std::size_t i = nbits; i-- > 0;)
+        stepBit(rem, ((words[i >> 6] >> (i & 63)) & 1) != 0);
+    return rem;
+}
+
+std::vector<std::uint64_t>
+BchCodec::slicedResidue(const std::vector<std::uint64_t> &words,
+                        std::size_t nbits) const
+{
+    std::vector<std::uint64_t> rem(remWords, 0);
+    if (checkBits < 8) {
+        for (std::size_t i = nbits; i-- > 0;)
+            stepBit(rem, ((words[i >> 6] >> (i & 63)) & 1) != 0);
+        return rem;
+    }
+
+    // Leading partial byte bit-serially, so the remaining length is a
+    // multiple of 8 and every input byte sits within one storage word.
+    std::size_t i = nbits;
+    while ((i & 7) != 0) {
+        --i;
+        stepBit(rem, ((words[i >> 6] >> (i & 63)) & 1) != 0);
+    }
+
+    // Slicing-by-8: with rem = low + top8 * x^(r-8),
+    //   (rem * x^8 + v(x) * x^r) mod g
+    //     = low * x^8  ^  ((top8 ^ v)(x) * x^r mod g)
+    // and the second term is one encTable row.
+    const unsigned tb_word = (checkBits - 8) >> 6;
+    const unsigned tb_shift = (checkBits - 8) & 63;
+    while (i != 0) {
+        i -= 8;
+        const std::uint64_t in_byte = (words[i >> 6] >> (i & 63)) & 0xFF;
+        std::uint64_t f = rem[tb_word] >> tb_shift;
+        if (tb_shift + 8 > 64)
+            f |= rem[tb_word + 1] << (64 - tb_shift);
+        const unsigned row_idx =
+            static_cast<unsigned>((f ^ in_byte) & 0xFF);
+        for (unsigned w = remWords; w-- > 1;)
+            rem[w] = (rem[w] << 8) | (rem[w - 1] >> 56);
+        rem[0] <<= 8;
+        rem[remWords - 1] &= remTopMask;
+        const std::uint64_t *row = &encTable[row_idx * remWords];
+        for (unsigned w = 0; w < remWords; ++w)
+            rem[w] ^= row[w];
+    }
+    return rem;
+}
+
+std::vector<std::uint64_t>
+BchCodec::residue(const std::vector<std::uint64_t> &words,
+                  std::size_t nbits) const
+{
+    return kern == CodecKernel::Sliced ? slicedResidue(words, nbits)
+                                       : scalarResidue(words, nbits);
+}
+
 BitVec
 BchCodec::encode(const BitVec &data) const
 {
     NVCK_ASSERT(data.size() == dataBits, "BCH encode: bad data length");
-    BitVec check = encodeDelta(data);
+    const BitVec check = encodeDelta(data);
     BitVec codeword(n());
-    for (unsigned i = 0; i < checkBits; ++i)
-        if (check.get(i))
-            codeword.set(i, true);
-    for (unsigned i = 0; i < dataBits; ++i)
-        if (data.get(i))
-            codeword.set(checkBits + i, true);
+    codeword.copyRange(0, check, 0, checkBits);
+    codeword.copyRange(checkBits, data, 0, dataBits);
     return codeword;
 }
 
@@ -137,31 +300,10 @@ BchCodec::encodeDelta(const BitVec &data_delta) const
 {
     NVCK_ASSERT(data_delta.size() == dataBits,
                 "BCH encodeDelta: bad data length");
-    // LFSR division: remainder of d(x) * x^r by g(x), processing data
-    // bits from the highest coefficient downward.
-    const unsigned rem_words = (checkBits + 63) / 64;
-    std::vector<std::uint64_t> rem(rem_words + 1, 0);
-    const unsigned top_bit = checkBits - 1;
-
-    for (unsigned i = dataBits; i-- > 0;) {
-        const bool data_bit = data_delta.get(i);
-        const bool feedback =
-            data_bit ^ (((rem[top_bit >> 6] >> (top_bit & 63)) & 1) != 0);
-        // Shift remainder left one bit, discarding the old top bit.
-        for (unsigned w = rem_words; w-- > 1;)
-            rem[w] = (rem[w] << 1) | (rem[w - 1] >> 63);
-        rem[0] <<= 1;
-        rem[checkBits >> 6] &= ~(1ull << (checkBits & 63));
-        if (feedback) {
-            for (unsigned w = 0; w < rem_words; ++w)
-                rem[w] ^= genWords[w];
-        }
-    }
-
+    const std::vector<std::uint64_t> rem =
+        residue(data_delta.raw(), dataBits);
     BitVec check(checkBits);
-    for (unsigned i = 0; i < checkBits; ++i)
-        if ((rem[i >> 6] >> (i & 63)) & 1)
-            check.set(i, true);
+    std::copy(rem.begin(), rem.end(), check.raw().begin());
     return check;
 }
 
@@ -169,9 +311,8 @@ void
 BchCodec::reencode(BitVec &codeword) const
 {
     NVCK_ASSERT(codeword.size() == n(), "BCH reencode: bad length");
-    BitVec check = encodeDelta(extractData(codeword));
-    for (unsigned i = 0; i < checkBits; ++i)
-        codeword.set(i, check.get(i));
+    const BitVec check = encodeDelta(extractData(codeword));
+    codeword.copyRange(0, check, 0, checkBits);
 }
 
 BitVec
@@ -179,9 +320,7 @@ BchCodec::extractData(const BitVec &codeword) const
 {
     NVCK_ASSERT(codeword.size() == n(), "BCH extractData: bad length");
     BitVec data(dataBits);
-    for (unsigned i = 0; i < dataBits; ++i)
-        if (codeword.get(checkBits + i))
-            data.set(i, true);
+    data.copyRange(0, codeword, checkBits, dataBits);
     return data;
 }
 
@@ -189,7 +328,15 @@ bool
 BchCodec::isCodeword(const BitVec &codeword) const
 {
     NVCK_ASSERT(codeword.size() == n(), "BCH isCodeword: bad length");
-    // Fast residue check: r(x) mod g(x) == 0.
+    if (kern == CodecKernel::Sliced) {
+        // Word-level residue check: c(x) * x^r mod g is zero exactly
+        // when c(x) mod g is (x is invertible mod g since g(0) = 1).
+        const std::vector<std::uint64_t> rem =
+            slicedResidue(codeword.raw(), n());
+        return std::all_of(rem.begin(), rem.end(),
+                           [](std::uint64_t w) { return w == 0; });
+    }
+    // Scalar reference: r(x) mod g(x) == 0 via BinPoly division.
     BinPoly received;
     for (unsigned i = 0; i < n(); ++i)
         if (codeword.get(i))
@@ -200,19 +347,30 @@ BchCodec::isCodeword(const BitVec &codeword) const
 std::vector<GfElem>
 BchCodec::syndromes(const BitVec &codeword) const
 {
+    return kern == CodecKernel::Sliced ? syndromesSliced(codeword)
+                                       : syndromesScalar(codeword);
+}
+
+std::vector<GfElem>
+BchCodec::syndromesScalar(const BitVec &codeword) const
+{
     std::vector<GfElem> syn(2 * correctBits, 0);
     const unsigned n_bits = n();
     // Odd syndromes from the tables; iterate set bits word-by-word.
+    // Words are masked to the codeword length up front, so an
+    // over-long BitVec contributes nothing past n().
     const auto &words = codeword.raw();
-    for (std::size_t w = 0; w < words.size(); ++w) {
+    const std::size_t n_words = (n_bits + 63) / 64;
+    const std::size_t scan = std::min(words.size(), n_words);
+    for (std::size_t w = 0; w < scan; ++w) {
         std::uint64_t bits = words[w];
+        if (w == n_words - 1 && (n_bits & 63) != 0)
+            bits &= (1ull << (n_bits & 63)) - 1;
         while (bits) {
             const unsigned i =
                 static_cast<unsigned>(w * 64 +
                                       std::countr_zero(bits));
             bits &= bits - 1;
-            if (i >= n_bits)
-                break;
             for (unsigned idx = 0; idx < correctBits; ++idx)
                 syn[2 * idx] ^= oddSynTables[idx][i];
         }
@@ -222,6 +380,41 @@ BchCodec::syndromes(const BitVec &codeword) const
     std::vector<GfElem> out(2 * correctBits, 0);
     for (unsigned idx = 0; idx < correctBits; ++idx)
         out[2 * idx] = syn[2 * idx]; // S_{2idx+1}
+    for (unsigned j = 2; j <= 2 * correctBits; j += 2) {
+        const GfElem half = out[j / 2 - 1];
+        out[j - 1] = gf.mul(half, half);
+    }
+    return out;
+}
+
+std::vector<GfElem>
+BchCodec::syndromesSliced(const BitVec &codeword) const
+{
+    std::vector<GfElem> out(2 * correctBits, 0);
+    const unsigned n_bits = n();
+    const auto &words = codeword.raw();
+    const std::size_t n_bytes = (n_bits + 7) / 8;
+    const unsigned tail_bits = n_bits & 7;
+    const std::uint64_t tail_mask =
+        tail_bits != 0 ? (1ull << tail_bits) - 1 : 0xFFull;
+
+    // S_{2idx+1} = sum over bytes w of alpha^(8wj) * synByteTab[byte_w],
+    // folded high byte to low by Horner steps of stride alpha^(8j).
+    for (unsigned idx = 0; idx < correctBits; ++idx) {
+        const GfElem *tab =
+            &synByteTab[static_cast<std::size_t>(idx) * 256];
+        const GfElem stride = synStride[idx];
+        GfElem acc = 0;
+        for (std::size_t w = n_bytes; w-- > 0;) {
+            const std::size_t bit = w * 8;
+            std::uint64_t byte = (words[bit >> 6] >> (bit & 63)) & 0xFF;
+            if (w == n_bytes - 1)
+                byte &= tail_mask;
+            acc = gf.mul(acc, stride) ^ tab[byte];
+        }
+        out[2 * idx] = acc;
+    }
+    // Even syndromes via squaring, exactly as the scalar kernel.
     for (unsigned j = 2; j <= 2 * correctBits; j += 2) {
         const GfElem half = out[j / 2 - 1];
         out[j - 1] = gf.mul(half, half);
@@ -276,7 +469,8 @@ BchCodec::decode(BitVec &codeword) const
         return result;
     }
 
-    // Chien search over the shortened positions [0, n).
+    // Chien search over the shortened positions [0, n), stepping each
+    // term by the precomputed alpha^(-j) strides.
     std::vector<std::uint32_t> error_positions;
     const unsigned nu = l;
     // term[j] tracks lambda_j * alpha^(-i*j) as i advances.
@@ -291,8 +485,7 @@ BchCodec::decode(BitVec &codeword) const
         if (sum == 0)
             error_positions.push_back(i);
         for (unsigned j = 1; j <= nu; ++j)
-            term[j] = gf.mul(term[j],
-                             gf.alphaPow(gf.order() - j));
+            term[j] = gf.mul(term[j], chienStride[j]);
     }
 
     if (error_positions.size() != nu) {

@@ -5,6 +5,13 @@
  * Chien search. Supports shortened codes (k smaller than the natural
  * 2^m - 1 - r), which is how both the per-block 14-EC code and the
  * per-chip 22-EC VLEW code of the paper are realised.
+ *
+ * Two interchangeable kernel implementations back the hot loops (see
+ * kernel.hh): the Scalar reference (one bit per LFSR step, per-set-bit
+ * syndrome accumulation) and the default Sliced kernel (CRC-style
+ * slicing-by-8 remainder tables, per-byte partial-syndrome tables with
+ * alpha^(8j) Horner strides). Both produce bit-identical codewords,
+ * syndromes, and decode results; the differential tests enforce it.
  */
 
 #ifndef NVCK_ECC_BCH_HH
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "common/bitvec.hh"
+#include "ecc/kernel.hh"
 #include "gf/binpoly.hh"
 #include "gf/gf2m.hh"
 
@@ -52,9 +60,13 @@ class BchCodec
      * @param correct_bits  t, the design correction capability.
      * @param field_degree  m; 0 picks the smallest m that fits
      *        k + t*m check bits within 2^m - 1.
+     * @param kernel  which inner-loop implementation to run; defaults
+     *        to the process-wide default (Sliced unless overridden via
+     *        NVCK_CODEC_KERNEL=scalar).
      */
     BchCodec(unsigned data_bits, unsigned correct_bits,
-             unsigned field_degree = 0);
+             unsigned field_degree = 0,
+             CodecKernel kernel = defaultCodecKernel());
 
     unsigned k() const { return dataBits; }
     unsigned t() const { return correctBits; }
@@ -63,6 +75,12 @@ class BchCodec
     /** Codeword length k + r. */
     unsigned n() const { return dataBits + checkBits; }
     const Gf2m &field() const { return gf; }
+
+    /** The kernel this codec currently dispatches to. */
+    CodecKernel kernel() const { return kern; }
+
+    /** Switch kernels, building any missing lookup tables. */
+    void setKernel(CodecKernel kernel);
 
     /**
      * Systematically encode @p data (k bits) into a fresh n-bit codeword
@@ -98,23 +116,87 @@ class BchCodec
     /** Generator polynomial (over GF(2)). */
     const BinPoly &generator() const { return gen; }
 
-  private:
-    /** Syndromes S_1 .. S_2t of the received word. */
+    /**
+     * Syndromes S_1 .. S_2t of the received word. Bits at positions
+     * >= n() of an over-long vector are ignored (masked word-wise, not
+     * relied on to be absent).
+     */
     std::vector<GfElem> syndromes(const BitVec &codeword) const;
+
+    /**
+     * Lookup-table bytes held by this instance for its current kernel
+     * (for footprint reporting; excludes the GF(2^m) log/exp tables).
+     */
+    std::size_t tableBytes() const;
+
+  private:
+    /** Scalar (per-set-bit) syndrome accumulation. */
+    std::vector<GfElem> syndromesScalar(const BitVec &codeword) const;
+    /** Sliced (per-byte table + Horner stride) syndromes. */
+    std::vector<GfElem> syndromesSliced(const BitVec &codeword) const;
+
+    /** Bit-serial LFSR remainder of the first @p nbits of @p words
+     *  times x^r, modulo g. */
+    std::vector<std::uint64_t>
+    scalarResidue(const std::vector<std::uint64_t> &words,
+                  std::size_t nbits) const;
+    /** Slicing-by-8 version of scalarResidue (identical result). */
+    std::vector<std::uint64_t>
+    slicedResidue(const std::vector<std::uint64_t> &words,
+                  std::size_t nbits) const;
+    /** Dispatch to the active residue kernel. */
+    std::vector<std::uint64_t>
+    residue(const std::vector<std::uint64_t> &words,
+            std::size_t nbits) const;
+
+    /** One LFSR step: rem <- (rem * x + in * x^r) mod g. */
+    void stepBit(std::vector<std::uint64_t> &rem, bool in) const;
+
+    /** Build the scalar per-bit syndrome tables (idempotent). */
+    void buildScalarTables();
+    /** Build the sliced remainder/syndrome tables (idempotent). */
+    void buildSlicedTables();
 
     unsigned dataBits;
     unsigned correctBits;
     unsigned checkBits;
     Gf2m gf;
     BinPoly gen;
+    CodecKernel kern;
     /** Generator packed low-to-high for the encode inner loop. */
     std::vector<std::uint64_t> genWords;
+
+    // -- geometry of the packed remainder, shared by both kernels --
+    /** Words holding the r-bit remainder. */
+    unsigned remWords = 0;
+    /** Mask for the top remainder word (all-ones when r % 64 == 0). */
+    std::uint64_t remTopMask = ~0ull;
+
+    // -- Scalar kernel tables --
     /**
-     * Per-bit syndrome contribution tables: alphaPowTable[j][i] =
-     * alpha^((2j+1) * i) for odd syndrome index 2j+1 and bit position i,
-     * flattened; built lazily at construction for decode speed.
+     * Per-bit syndrome contribution tables: oddSynTables[j][i] =
+     * alpha^((2j+1) * i) for odd syndrome index 2j+1 and bit position i;
+     * built when the Scalar kernel is selected.
      */
     std::vector<std::vector<GfElem>> oddSynTables;
+
+    // -- Sliced kernel tables --
+    /**
+     * Slicing-by-8 remainder-update table, flattened 256 x remWords:
+     * entry v holds (v(x) * x^r) mod g packed low-to-high.
+     */
+    std::vector<std::uint64_t> encTable;
+    /**
+     * Per-byte partial syndromes, flattened t x 256: entry (j, v) is
+     * sum over set bits b of v of alpha^((2j+1) * b).
+     */
+    std::vector<GfElem> synByteTab;
+    /** Horner stride per odd syndrome: alpha^(8 * (2j+1) mod order). */
+    std::vector<GfElem> synStride;
+
+    // -- always built (used by decode regardless of kernel) --
+    /** chienStride[j] = alpha^(order - j), hoisted out of the search. */
+    std::vector<GfElem> chienStride;
 };
 
 } // namespace nvck

@@ -1,0 +1,26 @@
+#include "kernel.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace nvck {
+
+const char *
+codecKernelName(CodecKernel kernel)
+{
+    return kernel == CodecKernel::Scalar ? "scalar" : "sliced";
+}
+
+CodecKernel
+defaultCodecKernel()
+{
+    static const CodecKernel kernel = [] {
+        const char *env = std::getenv("NVCK_CODEC_KERNEL");
+        if (env != nullptr && std::strcmp(env, "scalar") == 0)
+            return CodecKernel::Scalar;
+        return CodecKernel::Sliced;
+    }();
+    return kernel;
+}
+
+} // namespace nvck

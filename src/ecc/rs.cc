@@ -6,11 +6,20 @@
 
 namespace nvck {
 
+namespace {
+
+/** Field-size cap under which the per-feedback mul-tables are built:
+ *  2^m x r GfElems per table, 32 KiB per table at m = 10, r = 8. */
+constexpr std::uint32_t kMulTabMaxFieldSize = 1u << 10;
+
+} // namespace
+
 RsCodec::RsCodec(unsigned data_symbols, unsigned check_symbols,
-                 unsigned field_degree)
+                 unsigned field_degree, CodecKernel kernel)
     : dataSymbols(data_symbols),
       checkSymbols(check_symbols),
-      gf(field_degree)
+      gf(field_degree),
+      kern(kernel)
 {
     NVCK_ASSERT(checkSymbols >= 1, "RS needs at least one check symbol");
     NVCK_ASSERT(n() <= gf.order(),
@@ -19,12 +28,78 @@ RsCodec::RsCodec(unsigned data_symbols, unsigned check_symbols,
     gen = GfPoly::constant(1);
     for (unsigned i = 1; i <= checkSymbols; ++i)
         gen = GfPoly::mul(gf, gen, GfPoly({gf.alphaPow(i), 1}));
+
+    // LFSR taps: the low generator coefficients and their logs.
+    genLow.resize(checkSymbols);
+    genLog.resize(checkSymbols);
+    for (unsigned i = 0; i < checkSymbols; ++i) {
+        genLow[i] = gen.coeff(i);
+        genLog[i] = genLow[i] != 0
+                        ? static_cast<std::int32_t>(gf.log(genLow[i]))
+                        : -1;
+    }
+
+    // Chien-search strides alpha^(-j), hoisted out of the per-position
+    // loop (used by decode regardless of kernel).
+    chienStride.resize(checkSymbols + 1, 1);
+    for (unsigned j = 1; j <= checkSymbols; ++j)
+        chienStride[j] = gf.alphaPow(gf.order() - j);
+
+    setKernel(kernel);
+}
+
+void
+RsCodec::setKernel(CodecKernel kernel)
+{
+    kern = kernel;
+    if (kern == CodecKernel::Sliced)
+        buildSlicedTables();
+}
+
+void
+RsCodec::buildSlicedTables()
+{
+    if (!genMulTab.empty() || gf.size() > kMulTabMaxFieldSize)
+        return;
+    const std::uint32_t size = gf.size();
+    genMulTab.assign(static_cast<std::size_t>(size) * checkSymbols, 0);
+    for (std::uint32_t f = 1; f < size; ++f) {
+        GfElem *row = &genMulTab[static_cast<std::size_t>(f) *
+                                 checkSymbols];
+        for (unsigned i = 0; i < checkSymbols; ++i)
+            row[i] = gf.mul(f, genLow[i]);
+    }
+    synMulTab.assign(static_cast<std::size_t>(checkSymbols) * size, 0);
+    for (unsigned j = 1; j <= checkSymbols; ++j) {
+        const GfElem point = gf.alphaPow(j);
+        GfElem *tab = &synMulTab[static_cast<std::size_t>(j - 1) * size];
+        for (std::uint32_t a = 1; a < size; ++a)
+            tab[a] = gf.mul(a, point);
+    }
+}
+
+std::size_t
+RsCodec::tableBytes() const
+{
+    std::size_t bytes = (genLow.size() + chienStride.size()) *
+                            sizeof(GfElem) +
+                        genLog.size() * sizeof(std::int32_t);
+    if (kern == CodecKernel::Sliced)
+        bytes += (genMulTab.size() + synMulTab.size()) * sizeof(GfElem);
+    return bytes;
 }
 
 std::vector<GfElem>
 RsCodec::encode(const std::vector<GfElem> &data) const
 {
     NVCK_ASSERT(data.size() == dataSymbols, "RS encode: bad data length");
+    return kern == CodecKernel::Sliced ? encodeSliced(data)
+                                       : encodeScalar(data);
+}
+
+std::vector<GfElem>
+RsCodec::encodeScalar(const std::vector<GfElem> &data) const
+{
     // Systematic: codeword(x) = d(x) * x^r + (d(x) * x^r mod g(x)).
     GfPoly message;
     for (unsigned i = 0; i < dataSymbols; ++i)
@@ -36,6 +111,43 @@ RsCodec::encode(const std::vector<GfElem> &data) const
         codeword[i] = parity.coeff(i);
     for (unsigned i = 0; i < dataSymbols; ++i)
         codeword[checkSymbols + i] = data[i];
+    return codeword;
+}
+
+std::vector<GfElem>
+RsCodec::encodeSliced(const std::vector<GfElem> &data) const
+{
+    // Synthetic division of d(x) * x^r by the monic generator: one
+    // feedback symbol per data symbol, taps applied from a mul-table
+    // row (small fields) or via log/exp batching (one log per feedback
+    // instead of one per tap product).
+    std::vector<GfElem> parity(checkSymbols, 0);
+    for (unsigned i = dataSymbols; i-- > 0;) {
+        const GfElem feedback = data[i] ^ parity[checkSymbols - 1];
+        for (unsigned w = checkSymbols; w-- > 1;)
+            parity[w] = parity[w - 1];
+        parity[0] = 0;
+        if (feedback == 0)
+            continue;
+        if (!genMulTab.empty()) {
+            const GfElem *row =
+                &genMulTab[static_cast<std::size_t>(feedback) *
+                           checkSymbols];
+            for (unsigned w = 0; w < checkSymbols; ++w)
+                parity[w] ^= row[w];
+        } else {
+            const std::uint32_t lf = gf.log(feedback);
+            for (unsigned w = 0; w < checkSymbols; ++w)
+                if (genLog[w] >= 0)
+                    parity[w] ^= gf.expSum(
+                        lf, static_cast<std::uint32_t>(genLog[w]));
+        }
+    }
+
+    std::vector<GfElem> codeword(n(), 0);
+    std::copy(parity.begin(), parity.end(), codeword.begin());
+    std::copy(data.begin(), data.end(),
+              codeword.begin() + checkSymbols);
     return codeword;
 }
 
@@ -58,6 +170,14 @@ RsCodec::extractData(const std::vector<GfElem> &cw) const
 std::vector<GfElem>
 RsCodec::syndromes(const std::vector<GfElem> &cw) const
 {
+    return kern == CodecKernel::Sliced && !synMulTab.empty()
+               ? syndromesSliced(cw)
+               : syndromesScalar(cw);
+}
+
+std::vector<GfElem>
+RsCodec::syndromesScalar(const std::vector<GfElem> &cw) const
+{
     // S_j = R(alpha^j), j = 1..r, stored at index j-1.
     std::vector<GfElem> syn(checkSymbols, 0);
     for (unsigned j = 1; j <= checkSymbols; ++j) {
@@ -65,6 +185,24 @@ RsCodec::syndromes(const std::vector<GfElem> &cw) const
         GfElem acc = 0;
         for (std::size_t i = cw.size(); i-- > 0;)
             acc = Gf2m::add(gf.mul(acc, point), cw[i]);
+        syn[j - 1] = acc;
+    }
+    return syn;
+}
+
+std::vector<GfElem>
+RsCodec::syndromesSliced(const std::vector<GfElem> &cw) const
+{
+    // Same Horner recurrence, but the multiply-by-alpha^j step is one
+    // table lookup (the accumulator indexes the stepper row directly).
+    std::vector<GfElem> syn(checkSymbols, 0);
+    const std::uint32_t size = gf.size();
+    for (unsigned j = 1; j <= checkSymbols; ++j) {
+        const GfElem *tab =
+            &synMulTab[static_cast<std::size_t>(j - 1) * size];
+        GfElem acc = 0;
+        for (std::size_t i = cw.size(); i-- > 0;)
+            acc = tab[acc] ^ cw[i];
         syn[j - 1] = acc;
     }
     return syn;
@@ -149,12 +287,23 @@ RsCodec::decode(std::vector<GfElem> &codeword,
         return result;
     }
 
-    // Chien search over the shortened positions.
+    // Chien search over the shortened positions: term[j] tracks
+    // lambda_j * alpha^(-i*j), stepped by the precomputed strides
+    // instead of re-evaluating lambda at alpha^(-i) per position.
     std::vector<std::uint32_t> positions;
-    for (unsigned i = 0; i < n(); ++i) {
-        const GfElem x = gf.alphaPow((gf.order() - i) % gf.order());
-        if (lambda.eval(gf, x) == 0)
-            positions.push_back(i);
+    {
+        std::vector<GfElem> term(static_cast<unsigned>(nu) + 1);
+        for (unsigned j = 0; j <= static_cast<unsigned>(nu); ++j)
+            term[j] = lambda.coeff(j);
+        for (unsigned i = 0; i < n(); ++i) {
+            GfElem sum = 0;
+            for (unsigned j = 0; j <= static_cast<unsigned>(nu); ++j)
+                sum ^= term[j];
+            if (sum == 0)
+                positions.push_back(i);
+            for (unsigned j = 1; j <= static_cast<unsigned>(nu); ++j)
+                term[j] = gf.mul(term[j], chienStride[j]);
+        }
     }
     if (positions.size() != static_cast<std::size_t>(nu)) {
         result.status = DecodeStatus::Uncorrectable;

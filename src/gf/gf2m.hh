@@ -55,6 +55,17 @@ class Gf2m
         return expTable[logTable[a] + logTable[b]];
     }
 
+    /**
+     * Product from precomputed discrete logs: alpha^(la + lb) for
+     * la, lb < order(). Lets batched kernels (RS encode/syndromes) pay
+     * the log lookups once per operand instead of per product.
+     */
+    GfElem
+    expSum(std::uint32_t la, std::uint32_t lb) const
+    {
+        return expTable[la + lb];
+    }
+
     /** Multiplicative inverse of a nonzero element. */
     GfElem inv(GfElem a) const;
 

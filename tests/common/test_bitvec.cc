@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/bitvec.hh"
 #include "common/rng.hh"
 
@@ -117,6 +119,54 @@ TEST(BitVec, SetBitsDoesNotClobberNeighbours)
     EXPECT_EQ(v.getBits(0, 8), 0xFFu);
     EXPECT_EQ(v.getBits(8, 8), 0x00u);
     EXPECT_EQ(v.getBits(16, 8), 0xFFu);
+}
+
+TEST(BitVec, CopyRangeMatchesBitwise)
+{
+    Rng rng(17);
+    // Mix of aligned/unaligned offsets and lengths, including the
+    // whole-word fast path and masked tails.
+    const struct
+    {
+        std::size_t dst, src, count;
+    } cases[] = {
+        {0, 0, 264},   {0, 0, 64},    {0, 0, 1},    {64, 128, 100},
+        {5, 0, 264},   {0, 7, 200},   {13, 29, 191}, {64, 64, 63},
+        {128, 0, 257}, {1, 1, 511},
+    };
+    for (const auto &c : cases) {
+        BitVec src(1024), expect(1024), got(1024);
+        src.randomize(rng);
+        expect.randomize(rng);
+        got = expect;
+        for (std::size_t i = 0; i < c.count; ++i)
+            expect.set(c.dst + i, src.get(c.src + i));
+        got.copyRange(c.dst, src, c.src, c.count);
+        EXPECT_EQ(got, expect)
+            << "dst=" << c.dst << " src=" << c.src
+            << " count=" << c.count;
+    }
+}
+
+TEST(BitVec, SetGetBytesRoundTrip)
+{
+    Rng rng(23);
+    const std::size_t offsets[] = {0, 64, 8, 264, 61};
+    for (const std::size_t off : offsets) {
+        std::uint8_t in[37], out[37];
+        for (auto &b : in)
+            b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+        BitVec v(1024);
+        v.randomize(rng);
+        BitVec expect = v;
+        for (std::size_t b = 0; b < sizeof(in); ++b)
+            expect.setBits(off + b * 8, 8, in[b]);
+        v.setBytes(off, in, sizeof(in));
+        EXPECT_EQ(v, expect) << "offset " << off;
+        v.getBytes(off, out, sizeof(out));
+        EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0)
+            << "offset " << off;
+    }
 }
 
 } // namespace

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Differential fuzzing between the Scalar and Sliced codec kernels:
+ * for every BCH/RS parameter point the repo uses, random data with
+ * 0..t+2 injected errors must produce byte-identical codewords,
+ * syndromes, and decode results from both kernels. This is the
+ * contract that lets the fast kernels replace the reference paths in
+ * the Monte-Carlo sweeps without perturbing any sampled statistic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+#include "ecc/rs.hh"
+
+namespace nvck {
+namespace {
+
+struct BchPoint
+{
+    unsigned k;
+    unsigned t;
+};
+
+class KernelDiffBch : public ::testing::TestWithParam<BchPoint> {};
+
+TEST_P(KernelDiffBch, EncodeSyndromesDecodeIdentical)
+{
+    const auto [k, t] = GetParam();
+    const BchCodec scalar(k, t, 0, CodecKernel::Scalar);
+    const BchCodec sliced(k, t, 0, CodecKernel::Sliced);
+    ASSERT_EQ(scalar.kernel(), CodecKernel::Scalar);
+    ASSERT_EQ(sliced.kernel(), CodecKernel::Sliced);
+    ASSERT_EQ(scalar.n(), sliced.n());
+
+    Rng rng(0xD1FF + k * 31 + t);
+    for (unsigned errors = 0; errors <= t + 2; ++errors) {
+        BitVec data(k);
+        data.randomize(rng);
+
+        const BitVec cw_scalar = scalar.encode(data);
+        const BitVec cw_sliced = sliced.encode(data);
+        ASSERT_EQ(cw_scalar, cw_sliced)
+            << "k=" << k << " t=" << t;
+        EXPECT_EQ(scalar.encodeDelta(data), sliced.encodeDelta(data));
+        EXPECT_EQ(sliced.extractData(cw_sliced), data);
+
+        BitVec noisy = cw_scalar;
+        noisy.injectExactErrors(rng, errors);
+        EXPECT_EQ(scalar.isCodeword(noisy), sliced.isCodeword(noisy))
+            << "errors=" << errors;
+        EXPECT_EQ(scalar.syndromes(noisy), sliced.syndromes(noisy))
+            << "errors=" << errors;
+
+        BitVec dec_scalar = noisy;
+        BitVec dec_sliced = noisy;
+        const auto res_scalar = scalar.decode(dec_scalar);
+        const auto res_sliced = sliced.decode(dec_sliced);
+        EXPECT_EQ(res_scalar.status, res_sliced.status)
+            << "errors=" << errors;
+        EXPECT_EQ(res_scalar.corrections, res_sliced.corrections);
+        EXPECT_EQ(res_scalar.positions, res_sliced.positions);
+        EXPECT_EQ(dec_scalar, dec_sliced) << "errors=" << errors;
+
+        // reencode must agree too (it reuses the residue kernel).
+        BitVec re_scalar = noisy;
+        BitVec re_sliced = noisy;
+        scalar.reencode(re_scalar);
+        sliced.reencode(re_sliced);
+        EXPECT_EQ(re_scalar, re_sliced);
+    }
+}
+
+TEST_P(KernelDiffBch, SyndromesMaskOversizedTail)
+{
+    // Regression for the tail-handling fix: bits at positions >= n()
+    // of an over-long received vector must be ignored, not folded into
+    // the syndromes (and not truncated a whole word early).
+    const auto [k, t] = GetParam();
+    const BchCodec scalar(k, t, 0, CodecKernel::Scalar);
+    const BchCodec sliced(k, t, 0, CodecKernel::Sliced);
+    Rng rng(0x7A11 + k + t);
+
+    BitVec data(k);
+    data.randomize(rng);
+    const BitVec cw = scalar.encode(data);
+    const auto clean = scalar.syndromes(cw);
+
+    BitVec oversized(cw.size() + 67);
+    oversized.copyRange(0, cw, 0, cw.size());
+    for (std::size_t i = cw.size(); i < oversized.size(); ++i)
+        oversized.set(i, true); // garbage beyond n()
+    EXPECT_EQ(scalar.syndromes(oversized), clean);
+    EXPECT_EQ(sliced.syndromes(oversized), clean);
+    EXPECT_TRUE(scalar.isCodeword(cw));
+    EXPECT_TRUE(sliced.isCodeword(cw));
+}
+
+TEST_P(KernelDiffBch, SetKernelSwitchesInPlace)
+{
+    const auto [k, t] = GetParam();
+    BchCodec codec(k, t, 0, CodecKernel::Scalar);
+    Rng rng(0x5E7 + k + t);
+    BitVec data(k);
+    data.randomize(rng);
+    const BitVec before = codec.encode(data);
+    codec.setKernel(CodecKernel::Sliced);
+    EXPECT_EQ(codec.kernel(), CodecKernel::Sliced);
+    EXPECT_GT(codec.tableBytes(), 0u);
+    EXPECT_EQ(codec.encode(data), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodePoints, KernelDiffBch,
+    ::testing::Values(BchPoint{64, 2}, BchPoint{128, 3},
+                      BchPoint{512, 5}, BchPoint{512, 8},
+                      BchPoint{512, 14}, BchPoint{2048, 22}),
+    [](const auto &info) {
+        return "k" + std::to_string(info.param.k) + "t" +
+               std::to_string(info.param.t);
+    });
+
+struct RsPoint
+{
+    unsigned k;
+    unsigned r;
+    unsigned m;
+};
+
+class KernelDiffRs : public ::testing::TestWithParam<RsPoint> {};
+
+TEST_P(KernelDiffRs, EncodeSyndromesDecodeIdentical)
+{
+    const auto [k, r, m] = GetParam();
+    const RsCodec scalar(k, r, m, CodecKernel::Scalar);
+    const RsCodec sliced(k, r, m, CodecKernel::Sliced);
+    const unsigned t = scalar.t();
+    Rng rng(0xA5A5 + k * 17 + r + m);
+
+    for (unsigned errors = 0; errors <= t + 2; ++errors) {
+        std::vector<GfElem> data(k);
+        for (auto &s : data)
+            s = static_cast<GfElem>(rng.next() & (scalar.field().size() - 1));
+
+        const auto cw_scalar = scalar.encode(data);
+        const auto cw_sliced = sliced.encode(data);
+        ASSERT_EQ(cw_scalar, cw_sliced) << "m=" << m;
+        EXPECT_EQ(sliced.extractData(cw_sliced), data);
+
+        auto noisy = cw_scalar;
+        for (unsigned e = 0; e < errors; ++e) {
+            const auto pos = static_cast<std::size_t>(rng.next() %
+                                                      noisy.size());
+            noisy[pos] ^= static_cast<GfElem>(
+                (rng.next() % (scalar.field().size() - 1)) + 1);
+        }
+        EXPECT_EQ(scalar.isCodeword(noisy), sliced.isCodeword(noisy));
+        EXPECT_EQ(scalar.syndromes(noisy), sliced.syndromes(noisy));
+
+        auto dec_scalar = noisy;
+        auto dec_sliced = noisy;
+        const auto res_scalar = scalar.decode(dec_scalar);
+        const auto res_sliced = sliced.decode(dec_sliced);
+        EXPECT_EQ(res_scalar.status, res_sliced.status)
+            << "errors=" << errors;
+        EXPECT_EQ(res_scalar.corrections, res_sliced.corrections);
+        EXPECT_EQ(res_scalar.errorCorrections,
+                  res_sliced.errorCorrections);
+        EXPECT_EQ(res_scalar.positions, res_sliced.positions);
+        EXPECT_EQ(dec_scalar, dec_sliced) << "errors=" << errors;
+
+        auto re_scalar = noisy;
+        auto re_sliced = noisy;
+        scalar.reencode(re_scalar);
+        sliced.reencode(re_sliced);
+        EXPECT_EQ(re_scalar, re_sliced);
+    }
+}
+
+TEST_P(KernelDiffRs, ErasureDecodesIdentical)
+{
+    const auto [k, r, m] = GetParam();
+    const RsCodec scalar(k, r, m, CodecKernel::Scalar);
+    const RsCodec sliced(k, r, m, CodecKernel::Sliced);
+    Rng rng(0xE8A5 + k + r + m);
+
+    // Mixes with 2*errors + erasures up to r + 2 (including an
+    // uncorrectable overload case).
+    for (unsigned erasures = 1; erasures <= r; erasures += 3) {
+        for (unsigned errors = 0;
+             2 * errors + erasures <= r + 2; ++errors) {
+            std::vector<GfElem> data(k);
+            for (auto &s : data)
+                s = static_cast<GfElem>(rng.next() &
+                                        (scalar.field().size() - 1));
+            auto noisy = scalar.encode(data);
+
+            std::vector<std::uint32_t> positions(noisy.size());
+            for (std::size_t i = 0; i < positions.size(); ++i)
+                positions[i] = static_cast<std::uint32_t>(i);
+            for (std::size_t i = positions.size(); i > 1; --i)
+                std::swap(positions[i - 1],
+                          positions[rng.next() % i]);
+
+            std::vector<std::uint32_t> erased(
+                positions.begin(), positions.begin() + erasures);
+            for (unsigned e = 0; e < erasures + errors; ++e)
+                noisy[positions[e]] ^= static_cast<GfElem>(
+                    (rng.next() % (scalar.field().size() - 1)) + 1);
+
+            auto dec_scalar = noisy;
+            auto dec_sliced = noisy;
+            const auto res_scalar = scalar.decode(dec_scalar, erased);
+            const auto res_sliced = sliced.decode(dec_sliced, erased);
+            EXPECT_EQ(res_scalar.status, res_sliced.status)
+                << "erasures=" << erasures << " errors=" << errors;
+            EXPECT_EQ(res_scalar.corrections, res_sliced.corrections);
+            EXPECT_EQ(res_scalar.positions, res_sliced.positions);
+            EXPECT_EQ(dec_scalar, dec_sliced);
+        }
+    }
+}
+
+TEST_P(KernelDiffRs, SetKernelSwitchesInPlace)
+{
+    const auto [k, r, m] = GetParam();
+    RsCodec codec(k, r, m, CodecKernel::Scalar);
+    const std::size_t scalar_bytes = codec.tableBytes();
+    Rng rng(0x5EC + k + r + m);
+    std::vector<GfElem> data(k);
+    for (auto &s : data)
+        s = static_cast<GfElem>(rng.next() & (codec.field().size() - 1));
+    const auto before = codec.encode(data);
+    codec.setKernel(CodecKernel::Sliced);
+    // Mul-tables only exist below the small-field gate (m <= 10);
+    // larger fields batch through log/exp with no extra tables.
+    if (codec.field().m() <= 10)
+        EXPECT_GT(codec.tableBytes(), scalar_bytes);
+    else
+        EXPECT_EQ(codec.tableBytes(), scalar_bytes);
+    EXPECT_EQ(codec.encode(data), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodePoints, KernelDiffRs,
+    ::testing::Values(
+        RsPoint{64, 8, 8},  // the paper's RS(72,64) over GF(2^8)
+        RsPoint{64, 8, 12}, // wide field: exercises the log/exp path
+        RsPoint{16, 6, 8}), // odd r: erasure/error mixes with r odd
+    [](const auto &info) {
+        return "k" + std::to_string(info.param.k) + "r" +
+               std::to_string(info.param.r) + "m" +
+               std::to_string(info.param.m);
+    });
+
+} // namespace
+} // namespace nvck
