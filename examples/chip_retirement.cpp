@@ -87,7 +87,9 @@ main()
                 "correct, %u used striped-VLEW correction\n",
                 corrected_reads);
 
-    const bool clean = degraded.scrub() && degraded.isPristine();
+    const bool clean =
+        degraded.scrub() == nvck::RecoveryOutcome::Corrected &&
+        degraded.isPristine();
     std::printf("\nfinal scrub: rank pristine = %s\n",
                 clean ? "yes" : "NO");
     return payload_ok && clean ? 0 : 1;

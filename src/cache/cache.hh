@@ -78,6 +78,14 @@ class SetAssocCache
             fn(line);
     }
 
+    /** Iterate all lines mutably (bulk invalidation sweeps). */
+    void
+    forEachMutable(const std::function<void(CacheLine &)> &fn)
+    {
+        for (auto &line : store)
+            fn(line);
+    }
+
     /** Bump a line's LRU stamp. */
     void touch(CacheLine &line) { line.lruStamp = ++stampCounter; }
 

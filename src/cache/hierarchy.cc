@@ -207,4 +207,27 @@ CacheHierarchy::omvFraction() const
            static_cast<double>(llc.lines());
 }
 
+VolatileDiscard
+CacheHierarchy::discardVolatile()
+{
+    VolatileDiscard report;
+    const auto drop = [&](SetAssocCache &cache) {
+        cache.forEachMutable([&](CacheLine &line) {
+            if (!line.valid)
+                return;
+            ++report.linesDropped;
+            if (line.omv)
+                ++report.omvLost;
+            else if (line.dirty)
+                (line.isPm ? report.dirtyPmLost
+                           : report.dirtyDramLost)++;
+            cache.invalidate(line);
+        });
+    };
+    drop(llc);
+    for (auto &l1 : l1s)
+        drop(*l1);
+    return report;
+}
+
 } // namespace nvck

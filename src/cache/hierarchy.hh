@@ -55,6 +55,20 @@ struct CacheConfig
 /** Where an access was satisfied. */
 enum class HitLevel { L1, LLC, Memory };
 
+/** What a power cut destroyed inside the (volatile) hierarchy. */
+struct VolatileDiscard
+{
+    std::size_t linesDropped = 0; //!< valid lines invalidated
+    /** Dirty PM blocks that never reached the media: the persistent
+     *  image keeps their OLD values (the paper's crash consistency
+     *  contract — caches are explicitly not in the ADR domain). */
+    std::size_t dirtyPmLost = 0;
+    std::size_t dirtyDramLost = 0;
+    /** OMV lines lost; pending XOR writes can no longer be served the
+     *  old value from the LLC after reboot. */
+    std::size_t omvLost = 0;
+};
+
 /** Hierarchy statistics. */
 struct CacheStats
 {
@@ -100,6 +114,13 @@ class CacheHierarchy
         const auto total = hits + statistics.omvMisses.value();
         return total ? static_cast<double>(hits) / total : 1.0;
     }
+
+    /**
+     * Power failure: every cache is volatile, so all contents — dirty
+     * lines, clean lines, and the LLC's OMV copies — vanish without
+     * writebacks. Returns a tally of what was lost.
+     */
+    VolatileDiscard discardVolatile();
 
     const CacheStats &stats() const { return statistics; }
     void resetStats() { statistics = CacheStats{}; }

@@ -20,6 +20,7 @@ DegradedRank::DegradedRank(unsigned num_blocks,
     golden = store;
     codeStore.assign(numVlews, BitVec(vlewCodec.r()));
     goldenCode = codeStore;
+    poisonedVlew.assign(numVlews, false);
 }
 
 void
@@ -113,12 +114,48 @@ DegradedRank::writeBlock(unsigned block, const std::uint8_t *new_data)
     goldenCode[vlew] ^= code_delta;
 }
 
+void
+DegradedRank::applyTornWrite(unsigned block,
+                             const std::uint8_t *new_data,
+                             bool code_applied)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    const unsigned vlew = block / blocksPerVlew();
+    const unsigned offset = (block % blocksPerVlew()) * blockBytes;
+
+    std::uint8_t delta[blockBytes];
+    std::uint8_t *gold =
+        &golden[static_cast<std::size_t>(block) * blockBytes];
+    std::uint8_t *stored =
+        &store[static_cast<std::size_t>(block) * blockBytes];
+    for (unsigned b = 0; b < blockBytes; ++b) {
+        delta[b] = new_data[b] ^ gold[b];
+        gold[b] ^= delta[b];
+        stored[b] ^= delta[b];
+    }
+
+    BitVec delta_word(vlewCodec.k());
+    delta_word.setBytes(static_cast<std::size_t>(offset) * 8, delta,
+                        blockBytes);
+    const BitVec code_delta = vlewCodec.encodeDelta(delta_word);
+    goldenCode[vlew] ^= code_delta;
+    if (code_applied)
+        codeStore[vlew] ^= code_delta;
+}
+
 DegradedReadResult
 DegradedRank::readBlock(unsigned block, std::uint8_t *out)
 {
     NVCK_ASSERT(block < numBlocks, "block out of range");
     DegradedReadResult result;
     const unsigned vlew = block / blocksPerVlew();
+
+    if (poisonedVlew[vlew]) {
+        result.failed = true;
+        result.outcome = RecoveryOutcome::DetectedUE;
+        recCounters.count(result.outcome);
+        return result;
+    }
 
     // Without the RS tier every errored read needs the VLEW; check the
     // stored block against a zero-cost syndrome first by decoding only
@@ -129,10 +166,14 @@ DegradedRank::readBlock(unsigned block, std::uint8_t *out)
         const auto res = vlewCodec.decode(cw);
         if (res.status == DecodeStatus::Uncorrectable) {
             result.failed = true;
+            result.outcome = RecoveryOutcome::DetectedUE;
+            recCounters.count(result.outcome);
             return result;
         }
         result.corrections = res.corrections;
         storeVlew(vlew, cw);
+        result.outcome = RecoveryOutcome::FellBackToVlew;
+        recCounters.count(result.outcome);
     }
     std::memcpy(out,
                 &store[static_cast<std::size_t>(block) * blockBytes],
@@ -145,18 +186,67 @@ DegradedRank::readBlock(unsigned block, std::uint8_t *out)
     return result;
 }
 
-bool
+RecoveryOutcome
 DegradedRank::scrub()
 {
+    bool any_lost = false;
     for (unsigned v = 0; v < numVlews; ++v) {
+        if (poisonedVlew[v])
+            continue;
         BitVec cw = assembleVlew(v);
         const auto res = vlewCodec.decode(cw);
-        if (res.status == DecodeStatus::Uncorrectable)
-            return false;
+        if (res.status == DecodeStatus::Uncorrectable) {
+            // Without an RS tier there is nothing left to resolve the
+            // span with; zero it and report the loss instead of
+            // leaving silent garbage behind.
+            std::memset(&store[static_cast<std::size_t>(v) *
+                               geom.vlewDataBytes],
+                        0, geom.vlewDataBytes);
+            codeStore[v] = BitVec(vlewCodec.r());
+            poisonedVlew[v] = true;
+            any_lost = true;
+            recCounters.count(RecoveryOutcome::DetectedUE);
+            continue;
+        }
         if (res.status == DecodeStatus::Corrected)
             storeVlew(v, cw);
     }
-    return true;
+    // The survivors are the ground truth now (a torn write may have
+    // legitimately rolled back to the old data).
+    golden = store;
+    goldenCode = codeStore;
+    return any_lost ? RecoveryOutcome::DetectedUE
+                    : RecoveryOutcome::Corrected;
+}
+
+bool
+DegradedRank::isPoisoned(unsigned block) const
+{
+    return poisonedVlew.at(block / blocksPerVlew());
+}
+
+DegradedSnapshot
+DegradedRank::snapshot() const
+{
+    DegradedSnapshot snap;
+    snap.store = store;
+    snap.golden = golden;
+    snap.codeStore = codeStore;
+    snap.goldenCode = goldenCode;
+    snap.poisonedVlew = poisonedVlew;
+    return snap;
+}
+
+void
+DegradedRank::restore(const DegradedSnapshot &snap)
+{
+    NVCK_ASSERT(snap.store.size() == store.size(),
+                "snapshot from a different rank geometry");
+    store = snap.store;
+    golden = snap.golden;
+    codeStore = snap.codeStore;
+    goldenCode = snap.goldenCode;
+    poisonedVlew = snap.poisonedVlew;
 }
 
 std::uint64_t

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "chipkill/recovery.hh"
 #include "common/bitvec.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -43,6 +44,19 @@ struct DegradedReadResult
     unsigned corrections = 0; //!< bit corrections applied
     bool dataCorrect = false;
     bool failed = false;
+    /** Corrected for clean reads, FellBackToVlew when the striped VLEW
+     *  had to fix bits, DetectedUE when the read failed. */
+    RecoveryOutcome outcome = RecoveryOutcome::Corrected;
+};
+
+/** Persistent image of a degraded rank (see RankSnapshot). */
+struct DegradedSnapshot
+{
+    std::vector<std::uint8_t> store;
+    std::vector<std::uint8_t> golden;
+    std::vector<BitVec> codeStore;
+    std::vector<BitVec> goldenCode;
+    std::vector<bool> poisonedVlew;
 };
 
 /** A rank running without per-block RS protection after chip loss. */
@@ -80,11 +94,48 @@ class DegradedRank
     /** Write through the XOR-sum path (code bits updated linearly). */
     void writeBlock(unsigned block, const std::uint8_t *new_data);
 
+    /**
+     * Apply a power-cut-torn write: the data delta reached the media
+     * but the linear code-bit delta did so only when @p code_applied
+     * (the EUR drained before the cut). Golden copies record the full
+     * intent; recovery (scrub) decides what the media settles on.
+     */
+    void applyTornWrite(unsigned block, const std::uint8_t *new_data,
+                        bool code_applied);
+
     /** Read with VLEW correction (no RS tier anymore). */
     DegradedReadResult readBlock(unsigned block, std::uint8_t *out);
 
-    /** Scrub every striped VLEW. */
-    bool scrub();
+    /**
+     * Scrub every striped VLEW. Corrected when every span decoded
+     * (rolling torn writes back to the old data where the delta fits
+     * the BCH budget); DetectedUE when any span was uncorrectable —
+     * those spans are zeroed and poisoned rather than left as silent
+     * garbage. Ends by re-syncing the golden copies to the surviving
+     * contents, which are the ground truth from here on.
+     */
+    RecoveryOutcome scrub();
+
+    /** Whether @p block sits in a span scrub() declared lost. */
+    bool isPoisoned(unsigned block) const;
+
+    /** Capture / reinstate the persistent image. */
+    DegradedSnapshot snapshot() const;
+    void restore(const DegradedSnapshot &snap);
+
+    const RecoveryCounters &
+    recoveryCounters() const
+    {
+        return recCounters;
+    }
+
+    void
+    recordRecoveryStats(StatGroup &group) const
+    {
+        recCounters.record(group);
+    }
+
+    void resetRecoveryStats() { recCounters.reset(); }
 
     /** Inject random bit errors into data + code storage. */
     std::uint64_t injectErrors(Rng &rng, double rber);
@@ -109,6 +160,9 @@ class DegradedRank
     /** Striped VLEW code bits. */
     std::vector<BitVec> codeStore;
     std::vector<BitVec> goldenCode;
+    /** Spans scrub() declared lost (zeroed + reported UE). */
+    std::vector<bool> poisonedVlew;
+    RecoveryCounters recCounters;
 };
 
 } // namespace nvck

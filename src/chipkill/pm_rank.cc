@@ -15,7 +15,8 @@ PmRank::PmRank(unsigned num_blocks, const ProposalParams &params)
       blocksPerVlew(params.blocksPerVlew()),
       vlewCodec(params.vlewDataBytes * 8, params.vlewT),
       rsCodec(params.rsDataBytes, params.rsCheckBytes),
-      disabled(num_blocks, false)
+      disabled(num_blocks, false),
+      poisoned(num_blocks, false)
 {
     NVCK_ASSERT(numBlocks % blocksPerVlew == 0,
                 "block count must be a multiple of the VLEW span");
@@ -189,6 +190,7 @@ PmRank::initialize(Rng &rng)
     chipStore = goldenStore;
     codeStore = goldenCode;
     std::fill(disabled.begin(), disabled.end(), false);
+    std::fill(poisoned.begin(), poisoned.end(), false);
 }
 
 void
@@ -318,6 +320,75 @@ PmRank::writeBlock(unsigned block, const std::uint8_t *new_data)
     std::memcpy(parity_wire, parity_delta, chipBeatBytes);
     transmit(parity_wire);
     applyChipDelta(dataChips, block, parity_wire, parity_delta);
+    // A completed rewrite re-validates a block boot declared UE.
+    poisoned[block] = false;
+}
+
+void
+PmRank::applyTornWrite(unsigned block, const std::uint8_t *new_data,
+                       std::uint16_t data_mask,
+                       std::uint16_t code_mask)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    NVCK_ASSERT(!disabled[block], "write to disabled block");
+    const unsigned total_chips = dataChips + 1;
+    const std::uint16_t all =
+        static_cast<std::uint16_t>((1u << total_chips) - 1);
+    NVCK_ASSERT((data_mask & ~all) == 0 && (code_mask & ~all) == 0,
+                "chip mask out of range");
+    NVCK_ASSERT((code_mask & ~data_mask) == 0,
+                "code drained on a chip that never latched data");
+    NVCK_ASSERT(code_mask == 0 || data_mask == all,
+                "EUR drains only after the whole burst latched");
+
+    // Per-chip deltas exactly as writeBlock() forms them: new XOR old
+    // for the data chips, the RS check bytes of that delta for the
+    // parity chip.
+    std::uint8_t delta[9 * chipBeatBytes];
+    for (unsigned c = 0; c < dataChips; ++c) {
+        const std::uint8_t *old_beat = goldenBeat(c, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            delta[c * chipBeatBytes + b] =
+                new_data[c * chipBeatBytes + b] ^ old_beat[b];
+    }
+    std::vector<GfElem> delta_syms(rsCodec.k());
+    for (unsigned i = 0; i < rsCodec.k(); ++i)
+        delta_syms[i] = delta[i];
+    const auto delta_cw = rsCodec.encode(delta_syms);
+    for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+        delta[dataChips * chipBeatBytes + b] =
+            static_cast<std::uint8_t>(delta_cw[b]);
+
+    const unsigned vlew = block / blocksPerVlew;
+    const unsigned offset_bytes = (block % blocksPerVlew) * chipBeatBytes;
+    for (unsigned chip = 0; chip < total_chips; ++chip) {
+        const std::uint8_t *d8 = &delta[chip * chipBeatBytes];
+        BitVec delta_word(vlewCodec.k());
+        delta_word.setBytes(offset_bytes * 8, d8, chipBeatBytes);
+        const BitVec code_delta = vlewCodec.encodeDelta(delta_word);
+
+        if (data_mask & (1u << chip)) {
+            std::uint8_t *stored = chipBeat(chip, block);
+            for (unsigned b = 0; b < chipBeatBytes; ++b)
+                stored[b] ^= d8[b];
+            enforceStuck(chip,
+                         static_cast<std::uint64_t>(block) *
+                             chipBeatBytes,
+                         static_cast<std::uint64_t>(block + 1) *
+                             chipBeatBytes);
+        }
+        if (code_mask & (1u << chip))
+            codeStore[chip][vlew] ^= code_delta;
+
+        // Golden state tracks the full write intent; the oracle for
+        // what the media may legally resolve to is the crash
+        // campaign's own pre-crash images.
+        std::uint8_t *golden = goldenBeat(chip, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            golden[b] ^= d8[b];
+        goldenCode[chip][vlew] ^= code_delta;
+    }
+    poisoned[block] = false;
 }
 
 int
@@ -344,6 +415,15 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
     NVCK_ASSERT(!disabled[block], "read of disabled block");
     BlockReadResult result;
 
+    // A poisoned block is a standing, *reported* UE: crash recovery
+    // could not resolve it and flagged it rather than guessing.
+    if (poisoned[block]) {
+        result.path = ReadPath::Failed;
+        result.outcome = RecoveryOutcome::DetectedUE;
+        recCounters.count(result.outcome);
+        return result;
+    }
+
     auto emit = [&](const std::vector<GfElem> &word) {
         for (unsigned i = 0; i < rsCodec.k(); ++i)
             out[i] = static_cast<std::uint8_t>(
@@ -358,16 +438,26 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
     const auto rs_res = rsCodec.decode(word, {}, /*max_errors=*/-1);
     if (rs_res.status == DecodeStatus::Clean) {
         result.path = ReadPath::Clean;
+        result.outcome = RecoveryOutcome::Corrected;
         emit(word);
         return result;
     }
     if (rs_res.status == DecodeStatus::Corrected &&
         rs_res.corrections <= threshold) {
         result.path = ReadPath::RsAccepted;
+        result.outcome = RecoveryOutcome::Corrected;
         result.rsCorrections = rs_res.corrections;
+        recCounters.count(result.outcome);
         emit(word);
         return result;
     }
+    // The RS tier proposed more corrections than the acceptance
+    // threshold allows: exactly the words where accepting would risk a
+    // miscorrection (the 1e-17 SDC gate). Remember the rejection for
+    // the outcome taxonomy.
+    const bool rs_rejected =
+        rs_res.status == DecodeStatus::Corrected &&
+        rs_res.corrections > threshold;
 
     // Step 2: rejected or uncorrectable -> fetch and correct the VLEWs
     // of every chip covering this block (Fig 9 bottom).
@@ -391,14 +481,24 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
         }
     }
 
+    // After VLEW correction any residual non-erasure errors are
+    // miscorrection artifacts, so the final decode is bounded by the
+    // same acceptance threshold: fail detectably instead of accepting
+    // a word the SDC gate would reject.
     std::vector<GfElem> word2 = assembleRsWord(block);
-    const auto rs2 = rsCodec.decode(word2, erasures, -1);
+    const auto rs2 =
+        rsCodec.decode(word2, erasures, static_cast<int>(threshold));
     if (rs2.status == DecodeStatus::Uncorrectable) {
         result.path = ReadPath::Failed;
+        result.outcome = RecoveryOutcome::DetectedUE;
+        recCounters.count(result.outcome);
         return result;
     }
     result.path = erasures.empty() ? ReadPath::VlewFallback
                                    : ReadPath::ChipRecovered;
+    result.outcome = rs_rejected ? RecoveryOutcome::MiscorrectionRisk
+                                 : RecoveryOutcome::FellBackToVlew;
+    recCounters.count(result.outcome);
     result.rsCorrections = rs2.corrections;
     emit(word2);
     return result;
@@ -437,7 +537,8 @@ PmRank::bootScrub()
     if (failed_data == 1) {
         for (unsigned c = 0; c < dataChips; ++c) {
             if (chip_failed[c]) {
-                if (!rebuildDataChip(c, report))
+                if (rebuildDataChip(c, report) ==
+                    RecoveryOutcome::DetectedUE)
                     report.uncorrectable = true;
                 ++report.chipsRecovered;
             }
@@ -451,7 +552,7 @@ PmRank::bootScrub()
     return report;
 }
 
-bool
+RecoveryOutcome
 PmRank::rebuildDataChip(unsigned chip, ScrubReport &report)
 {
     (void)report;
@@ -462,8 +563,10 @@ PmRank::rebuildDataChip(unsigned chip, ScrubReport &report)
     for (unsigned block = 0; block < numBlocks; ++block) {
         std::vector<GfElem> word = assembleRsWord(block);
         const auto res = rsCodec.decode(word, erasures, -1);
-        if (res.status == DecodeStatus::Uncorrectable)
-            return false;
+        if (res.status == DecodeStatus::Uncorrectable) {
+            recCounters.count(RecoveryOutcome::DetectedUE);
+            return RecoveryOutcome::DetectedUE;
+        }
         std::uint8_t *beat = chipBeat(chip, block);
         for (unsigned b = 0; b < chipBeatBytes; ++b)
             beat[b] = static_cast<std::uint8_t>(
@@ -477,7 +580,8 @@ PmRank::rebuildDataChip(unsigned chip, ScrubReport &report)
         const BitVec check = vlewCodec.encodeDelta(data);
         codeStore[chip][v].copyRange(0, check, 0, vlewCodec.r());
     }
-    return true;
+    recCounters.count(RecoveryOutcome::FellBackToVlew);
+    return RecoveryOutcome::FellBackToVlew;
 }
 
 void
@@ -589,6 +693,319 @@ bool
 PmRank::isPristine() const
 {
     return chipStore == goldenStore && codeStore == goldenCode;
+}
+
+bool
+PmRank::isPoisoned(unsigned block) const
+{
+    return poisoned.at(block);
+}
+
+RankSnapshot
+PmRank::snapshot() const
+{
+    RankSnapshot snap;
+    snap.chipStore = chipStore;
+    snap.codeStore = codeStore;
+    snap.goldenStore = goldenStore;
+    snap.goldenCode = goldenCode;
+    snap.stuckMask = stuckMask;
+    snap.stuckVal = stuckVal;
+    snap.disabled = disabled;
+    snap.poisoned = poisoned;
+    return snap;
+}
+
+void
+PmRank::restore(const RankSnapshot &snap)
+{
+    NVCK_ASSERT(snap.chipStore.size() == chipStore.size() &&
+                    snap.disabled.size() == disabled.size(),
+                "snapshot from a different rank geometry");
+    chipStore = snap.chipStore;
+    codeStore = snap.codeStore;
+    goldenStore = snap.goldenStore;
+    goldenCode = snap.goldenCode;
+    stuckMask = snap.stuckMask;
+    stuckVal = snap.stuckVal;
+    disabled = snap.disabled;
+    poisoned = snap.poisoned;
+}
+
+void
+PmRank::corruptByte(unsigned chip, unsigned block, unsigned byte,
+                    std::uint8_t mask)
+{
+    NVCK_ASSERT(chip <= dataChips, "chip out of range");
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    NVCK_ASSERT(byte < chipBeatBytes, "byte out of range");
+    chipBeat(chip, block)[byte] ^= mask;
+}
+
+void
+PmRank::storeRsWord(unsigned block, const std::vector<GfElem> &word)
+{
+    std::uint8_t *parity = chipBeat(dataChips, block);
+    for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+        parity[b] = static_cast<std::uint8_t>(word[b]);
+    for (unsigned c = 0; c < dataChips; ++c) {
+        std::uint8_t *beat = chipBeat(c, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            beat[b] = static_cast<std::uint8_t>(
+                word[geom.rsCheckBytes + c * chipBeatBytes + b]);
+    }
+    for (unsigned chip = 0; chip <= dataChips; ++chip)
+        enforceStuck(chip,
+                     static_cast<std::uint64_t>(block) * chipBeatBytes,
+                     static_cast<std::uint64_t>(block + 1) *
+                         chipBeatBytes);
+}
+
+void
+PmRank::poisonBlock(unsigned block)
+{
+    // Zero the block everywhere (like disableBlock) so the media stays
+    // self-consistent; golden follows because the zeros are now the
+    // block's (known-lost) contents. The flag is what readers see.
+    for (unsigned chip = 0; chip <= dataChips; ++chip) {
+        std::memset(chipBeat(chip, block), 0, chipBeatBytes);
+        std::memset(goldenBeat(chip, block), 0, chipBeatBytes);
+    }
+    poisoned[block] = true;
+}
+
+CrashRecoveryReport
+PmRank::crashRecovery(unsigned threshold)
+{
+    CrashRecoveryReport report;
+    const unsigned total_chips = dataChips + 1;
+
+    // Phase 1: scrub every VLEW. A stale-code chip whose torn delta
+    // fits in the BCH budget rolls back to the old data here; larger
+    // tears stay uncorrectable and are resolved per block below.
+    // Beats the rollback changed are remembered: those chips now hold
+    // a *different version* than chips whose EUR drained before the
+    // cut, and the erasure paths below must not mix the two.
+    std::vector<std::vector<bool>> torn(
+        total_chips, std::vector<bool>(numVlews, false));
+    std::vector<unsigned> torn_count(total_chips, 0);
+    std::vector<std::vector<bool>> rolled_back(
+        total_chips, std::vector<bool>(numBlocks, false));
+    for (unsigned chip = 0; chip < total_chips; ++chip) {
+        for (unsigned v = 0; v < numVlews; ++v) {
+            ++report.vlewsScanned;
+            const std::uint8_t *span =
+                &chipStore[chip][static_cast<std::size_t>(v) *
+                                 geom.vlewDataBytes];
+            const std::vector<std::uint8_t> before(
+                span, span + geom.vlewDataBytes);
+            const int corrected = correctVlew(chip, v);
+            if (corrected < 0) {
+                torn[chip][v] = true;
+                ++torn_count[chip];
+            } else if (corrected > 0) {
+                ++report.vlewsCorrected;
+                report.bitsCorrected +=
+                    static_cast<std::uint64_t>(corrected);
+                for (unsigned b = 0; b < blocksPerVlew; ++b) {
+                    if (std::memcmp(&before[b * chipBeatBytes],
+                                    span + b * chipBeatBytes,
+                                    chipBeatBytes))
+                        rolled_back[chip][v * blocksPerVlew + b] = true;
+                }
+            }
+        }
+    }
+
+    // A chip with *every* VLEW uncorrectable is a failed device, not a
+    // torn write; its beats are erased wholesale, as in bootScrub().
+    std::vector<bool> dead(total_chips, false);
+    for (unsigned chip = 0; chip < total_chips; ++chip) {
+        if (torn_count[chip] == numVlews) {
+            dead[chip] = true;
+            report.deadChips.push_back(chip);
+        }
+    }
+
+    auto beat_from_word = [&](const std::vector<GfElem> &word,
+                              unsigned chip, std::uint8_t *out8) {
+        if (chip == dataChips) {
+            for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+                out8[b] = static_cast<std::uint8_t>(word[b]);
+        } else {
+            for (unsigned b = 0; b < chipBeatBytes; ++b)
+                out8[b] = static_cast<std::uint8_t>(
+                    word[geom.rsCheckBytes + chip * chipBeatBytes + b]);
+        }
+    };
+
+    // Phase 2, span by span: verify every block's RS word and resolve
+    // it to a consistent value — or poison it as a reported UE.
+    std::vector<bool> span_touched(numVlews, false);
+    for (unsigned v = 0; v < numVlews; ++v) {
+        std::vector<unsigned> bad; //!< unreliable chips in this span
+        unsigned torn_chip = total_chips;
+        for (unsigned chip = 0; chip < total_chips; ++chip) {
+            if (dead[chip] || torn[chip][v]) {
+                bad.push_back(chip);
+                span_touched[v] = true;
+                if (!dead[chip])
+                    torn_chip = chip;
+            }
+        }
+
+        struct PendingFill
+        {
+            unsigned block;
+            std::vector<GfElem> word;
+        };
+        std::vector<PendingFill> pending;
+        std::vector<unsigned> to_poison;
+
+        for (unsigned block = v * blocksPerVlew;
+             block < (v + 1) * blocksPerVlew; ++block) {
+            if (disabled[block] || poisoned[block])
+                continue;
+            std::vector<GfElem> word = assembleRsWord(block);
+            const auto res = rsCodec.decode(word, {}, -1);
+            if (res.status == DecodeStatus::Clean)
+                continue;
+            if (res.status == DecodeStatus::Corrected &&
+                res.corrections <= threshold) {
+                storeRsWord(block, word);
+                span_touched[v] = true;
+                ++report.blocksRsResolved;
+                recCounters.count(RecoveryOutcome::Corrected);
+                continue;
+            }
+            if (res.status == DecodeStatus::Corrected) {
+                // A >threshold proposal is exactly where accepting
+                // would risk a miscorrection: reject it.
+                ++report.miscorrectionRejects;
+                recCounters.count(RecoveryOutcome::MiscorrectionRisk);
+            }
+
+            // One unreliable chip: try an RS erasure rebuild of its
+            // beat. With all 8 check symbols consumed by the erasure
+            // the fill always "succeeds" algebraically, so it is only
+            // trusted when the survivors are above suspicion (dead
+            // chip: their VLEWs verified clean in phase 1) or when the
+            // rebuilt beats verify against the torn chip's own stale
+            // code bits (a rollback proof, checked after the loop).
+            if (bad.size() == 1) {
+                std::vector<std::uint32_t> erasures;
+                if (bad[0] == dataChips) {
+                    for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+                        erasures.push_back(b);
+                } else {
+                    for (unsigned b = 0; b < chipBeatBytes; ++b)
+                        erasures.push_back(geom.rsCheckBytes +
+                                           bad[0] * chipBeatBytes + b);
+                }
+                std::vector<GfElem> word2 = assembleRsWord(block);
+                const auto res2 = rsCodec.decode(
+                    word2, erasures, static_cast<int>(threshold));
+                if (res2.status != DecodeStatus::Uncorrectable) {
+                    if (!dead[bad[0]]) {
+                        pending.push_back({block, std::move(word2)});
+                        continue;
+                    }
+                    // A dead chip leaves no code bits to cross-check
+                    // the fill against, so it is only trusted when no
+                    // surviving beat was rolled back in phase 1: a
+                    // rollback next to a drained chip leaves the
+                    // survivors holding two different versions, and
+                    // the fill through them is a valid-looking RS
+                    // codeword that is neither the old nor the new
+                    // value. Those blocks are reported, not guessed.
+                    bool mixed = false;
+                    for (unsigned chip = 0;
+                         chip < total_chips && !mixed; ++chip)
+                        mixed = chip != bad[0] &&
+                                rolled_back[chip][block];
+                    if (!mixed) {
+                        storeRsWord(block, word2);
+                        span_touched[v] = true;
+                        ++report.blocksErasureResolved;
+                        recCounters.count(
+                            RecoveryOutcome::FellBackToVlew);
+                        continue;
+                    }
+                }
+            }
+            to_poison.push_back(block);
+        }
+
+        // Cross-check deferred fills: substitute the candidate beats
+        // into the torn chip's stored VLEW and decode against its
+        // stale code bits. A decodable word whose corrections stay
+        // outside the candidate beats proves the fill is the value
+        // the chip held before the torn write (rollback to old).
+        if (!pending.empty()) {
+            const unsigned chip = torn_chip;
+            const unsigned r = vlewCodec.r();
+            BitVec cw = assembleVlew(chip, v);
+            for (const auto &p : pending) {
+                std::uint8_t beat[chipBeatBytes];
+                beat_from_word(p.word, chip, beat);
+                cw.setBytes(r + (p.block % blocksPerVlew) *
+                                    chipBeatBytes * 8,
+                            beat, chipBeatBytes);
+            }
+            const auto bch = vlewCodec.decode(cw);
+            const bool decodable =
+                bch.status != DecodeStatus::Uncorrectable;
+            for (const auto &p : pending) {
+                bool verified = decodable;
+                if (verified) {
+                    std::uint8_t cand[chipBeatBytes];
+                    std::uint8_t post[chipBeatBytes];
+                    beat_from_word(p.word, chip, cand);
+                    cw.getBytes(r + (p.block % blocksPerVlew) *
+                                        chipBeatBytes * 8,
+                                post, chipBeatBytes);
+                    verified = std::memcmp(cand, post,
+                                           chipBeatBytes) == 0;
+                }
+                if (verified) {
+                    storeRsWord(p.block, p.word);
+                    span_touched[v] = true;
+                    ++report.blocksErasureResolved;
+                    recCounters.count(RecoveryOutcome::FellBackToVlew);
+                } else {
+                    to_poison.push_back(p.block);
+                }
+            }
+        }
+
+        for (unsigned block : to_poison) {
+            poisonBlock(block);
+            span_touched[v] = true;
+            report.ueBlocks.push_back(block);
+            recCounters.count(RecoveryOutcome::DetectedUE);
+        }
+    }
+
+    // Phase 3: the surviving data is settled; re-encode the code bits
+    // of every touched span so stale/garbled BCH regions match it.
+    for (unsigned v = 0; v < numVlews; ++v) {
+        if (!span_touched[v])
+            continue;
+        for (unsigned chip = 0; chip < total_chips; ++chip) {
+            BitVec data(vlewCodec.k());
+            data.setBytes(0, &chipStore[chip][v * geom.vlewDataBytes],
+                          geom.vlewDataBytes);
+            const BitVec check = vlewCodec.encodeDelta(data);
+            codeStore[chip][v].copyRange(0, check, 0, vlewCodec.r());
+        }
+    }
+
+    // Recovery defines the new ground truth: the write intent died
+    // with the machine, so whatever consistent state the pass settled
+    // on *is* the memory's contents from here on.
+    goldenStore = chipStore;
+    goldenCode = codeStore;
+    return report;
 }
 
 double

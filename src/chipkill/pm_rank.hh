@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "chipkill/recovery.hh"
 #include "common/bitvec.hh"
 #include "common/rng.hh"
 #include "ecc/bch.hh"
@@ -57,6 +58,12 @@ enum class ReadPath
 struct BlockReadResult
 {
     ReadPath path = ReadPath::Clean;
+    /** Recovery verdict: Corrected for Clean/RsAccepted reads,
+     *  MiscorrectionRisk when the RS tier proposed more than
+     *  `threshold` corrections and the VLEW tier saved the word,
+     *  FellBackToVlew for the other fallback reads, DetectedUE when
+     *  the read failed (or hit a poisoned block). */
+    RecoveryOutcome outcome = RecoveryOutcome::Corrected;
     unsigned rsCorrections = 0;
     unsigned vlewBitCorrections = 0;
     bool dataCorrect = false; //!< matches the golden copy
@@ -71,6 +78,40 @@ struct ScrubReport
     unsigned chipsRecovered = 0;
     bool parityChipRebuilt = false;
     bool uncorrectable = false;
+};
+
+/**
+ * Persistent-media image of a rank: everything that survives a power
+ * cut (chip data arrays, per-chip BCH code regions, golden references,
+ * block health flags). Deliberately excludes all volatile state — the
+ * LLC-held OMVs and the chips' EUR registerfiles live in the timing
+ * model and are dropped by a crash, never snapshotted.
+ */
+struct RankSnapshot
+{
+    std::vector<std::vector<std::uint8_t>> chipStore;
+    std::vector<std::vector<BitVec>> codeStore;
+    std::vector<std::vector<std::uint8_t>> goldenStore;
+    std::vector<std::vector<BitVec>> goldenCode;
+    std::vector<std::vector<std::uint8_t>> stuckMask;
+    std::vector<std::vector<std::uint8_t>> stuckVal;
+    std::vector<bool> disabled;
+    std::vector<bool> poisoned;
+};
+
+/** What crashRecovery() did to bring the rank back to consistency. */
+struct CrashRecoveryReport
+{
+    std::uint64_t vlewsScanned = 0;
+    std::uint64_t vlewsCorrected = 0; //!< VLEWs needing bit fixes
+    std::uint64_t bitsCorrected = 0;
+    std::uint64_t blocksRsResolved = 0;      //!< bounded RS decode
+    std::uint64_t blocksErasureResolved = 0; //!< one-bad-chip rebuild
+    std::uint64_t miscorrectionRejects = 0;  //!< >threshold proposals
+    /** Chips with every VLEW uncorrectable, treated as failed. */
+    std::vector<unsigned> deadChips;
+    /** Blocks declared (and reported) uncorrectable: poisoned. */
+    std::vector<unsigned> ueBlocks;
 };
 
 /** The rank. */
@@ -101,6 +142,26 @@ class PmRank
     void writeBlock(unsigned block, const std::uint8_t *new_data);
 
     /**
+     * Crash-torn variant of writeBlock() for the CrashInjector: the
+     * power fails mid-write, so only the chips selected by
+     * @p data_mask (bit c = chip c; bit chips()-1 = the parity chip)
+     * latched and applied the XOR-summed data delta, and of those only
+     * the chips in @p code_mask drained the code-bit delta out of
+     * their EUR before the cut. The golden copy tracks the full
+     * intended value, exactly like writeBlock() — recovery decides
+     * what the media actually holds.
+     *
+     * Physical invariant (Section V-D): data deltas land in the chips
+     * at burst time, code deltas only at row close, so a partial burst
+     * implies nothing has drained yet. @p code_mask must therefore be
+     * zero unless @p data_mask covers every chip, and must always be a
+     * subset of @p data_mask.
+     */
+    void applyTornWrite(unsigned block, const std::uint8_t *new_data,
+                        std::uint16_t data_mask,
+                        std::uint16_t code_mask);
+
+    /**
      * Runtime read with opportunistic RS correction and VLEW fallback.
      * @param out receives the corrected 64B.
      * @param threshold max accepted RS corrections (2 in the paper).
@@ -110,6 +171,39 @@ class PmRank
 
     /** Boot-time scrub of every VLEW, with chip-failure recovery. */
     ScrubReport bootScrub();
+
+    /**
+     * Post-crash recovery (Section V-B applied to torn writes): scrub
+     * every VLEW, then verify every block's RS word, resolving torn
+     * blocks to a *consistent* value — the old data (stale-code chips
+     * rolled back by their VLEWs), the new data (all chips applied),
+     * or an explicit poisoned UE. The pass never emits a mixed
+     * old/new word as good data: RS proposals above @p threshold are
+     * rejected (miscorrection gate) and one-bad-chip erasure rebuilds
+     * are only trusted when the survivors' VLEWs vouch for them (dead
+     * chip) or the rebuilt beats verify against the torn chip's own
+     * stale code bits (rollback). On return the recovered contents
+     * become the new ground truth (golden state is resynchronized);
+     * poisoned blocks read as DetectedUE until rewritten.
+     */
+    CrashRecoveryReport crashRecovery(unsigned threshold = 2);
+
+    /** True when crashRecovery() declared @p block an explicit UE. */
+    bool isPoisoned(unsigned block) const;
+
+    /** Capture the persistent-media image (cheap to restore). */
+    RankSnapshot snapshot() const;
+    /** Restore a previously captured image. */
+    void restore(const RankSnapshot &snap);
+
+    /**
+     * Deterministically corrupt one stored byte (@p chip = chips()-1
+     * addresses the parity chip) by XORing @p mask into it. Fault
+     * primitive for targeted recovery tests; does not touch golden
+     * state.
+     */
+    void corruptByte(unsigned chip, unsigned block, unsigned byte,
+                     std::uint8_t mask);
 
     /** Flip each stored bit (data and code) with probability @p rber. */
     std::uint64_t injectErrors(Rng &rng, double rber);
@@ -168,6 +262,18 @@ class PmRank
 
     const ProposalParams &params() const { return geom; }
 
+    /** Recovery verdict tallies (reads + crash recovery). */
+    const RecoveryCounters &recoveryCounters() const
+    {
+        return recCounters;
+    }
+    /** Surface the recovery tallies through common/stats. */
+    void recordRecoveryStats(StatGroup &group) const
+    {
+        recCounters.record(group);
+    }
+    void resetRecoveryStats() { recCounters.reset(); }
+
   private:
     /** Stored (possibly erroneous) 8B beat of @p chip at @p block. */
     std::uint8_t *chipBeat(unsigned chip, unsigned block);
@@ -210,9 +316,16 @@ class PmRank
                       std::uint64_t hi);
 
     /** Rebuild a dead data chip via RS erasure correction. */
-    bool rebuildDataChip(unsigned chip, ScrubReport &report);
+    RecoveryOutcome rebuildDataChip(unsigned chip,
+                                    ScrubReport &report);
     /** Recompute the parity chip from (corrected) data chips. */
     void rebuildParityChip();
+
+    /** Write an RS word's beats (data + parity) back to the store. */
+    void storeRsWord(unsigned block, const std::vector<GfElem> &word);
+
+    /** Zero a block everywhere and flag it as a reported UE. */
+    void poisonBlock(unsigned block);
 
     ProposalParams geom;
     unsigned numBlocks;
@@ -231,6 +344,9 @@ class PmRank
     std::vector<std::vector<std::uint8_t>> goldenStore;
     std::vector<std::vector<BitVec>> goldenCode;
     std::vector<bool> disabled;
+    /** Blocks crashRecovery() declared uncorrectable (reported UE). */
+    std::vector<bool> poisoned;
+    RecoveryCounters recCounters;
     /** Per-chip stuck-cell masks and stuck values (data bytes). */
     std::vector<std::vector<std::uint8_t>> stuckMask;
     std::vector<std::vector<std::uint8_t>> stuckVal;

@@ -1,0 +1,65 @@
+#include "recovery.hh"
+
+#include "common/log.hh"
+
+namespace nvck {
+
+const char *
+recoveryOutcomeName(RecoveryOutcome outcome)
+{
+    switch (outcome) {
+      case RecoveryOutcome::Corrected:
+        return "corrected";
+      case RecoveryOutcome::FellBackToVlew:
+        return "fell-back-to-vlew";
+      case RecoveryOutcome::DetectedUE:
+        return "detected-ue";
+      case RecoveryOutcome::MiscorrectionRisk:
+        return "miscorrection-risk";
+    }
+    NVCK_PANIC("unreachable");
+}
+
+void
+RecoveryCounters::count(RecoveryOutcome outcome)
+{
+    switch (outcome) {
+      case RecoveryOutcome::Corrected:
+        corrected.inc();
+        return;
+      case RecoveryOutcome::FellBackToVlew:
+        fellBackToVlew.inc();
+        return;
+      case RecoveryOutcome::DetectedUE:
+        detectedUe.inc();
+        return;
+      case RecoveryOutcome::MiscorrectionRisk:
+        miscorrectionRisk.inc();
+        return;
+    }
+    NVCK_PANIC("unreachable");
+}
+
+void
+RecoveryCounters::record(StatGroup &group) const
+{
+    group.record("recovery.corrected",
+                 static_cast<double>(corrected.value()));
+    group.record("recovery.fell_back_to_vlew",
+                 static_cast<double>(fellBackToVlew.value()));
+    group.record("recovery.detected_ue",
+                 static_cast<double>(detectedUe.value()));
+    group.record("recovery.miscorrection_risk",
+                 static_cast<double>(miscorrectionRisk.value()));
+}
+
+void
+RecoveryCounters::reset()
+{
+    corrected.reset();
+    fellBackToVlew.reset();
+    detectedUe.reset();
+    miscorrectionRisk.reset();
+}
+
+} // namespace nvck

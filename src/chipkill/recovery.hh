@@ -1,0 +1,62 @@
+/**
+ * @file
+ * UE taxonomy shared by every recovery path in the chipkill layer.
+ *
+ * The recovery entry points (runtime reads, boot scrub, crash
+ * recovery, degraded-mode scrub) used to collapse their verdicts into
+ * booleans, which loses the distinction the paper's SDC analysis rests
+ * on: *how* a word was resolved decides whether the 1e-17 silent-data-
+ * corruption gate held. RecoveryOutcome names the four verdicts and
+ * RecoveryCounters accumulates them for surfacing through
+ * common/stats.
+ */
+
+#ifndef NVCK_CHIPKILL_RECOVERY_HH
+#define NVCK_CHIPKILL_RECOVERY_HH
+
+#include "common/stats.hh"
+
+namespace nvck {
+
+/** How a recovery attempt (read, scrub, rebuild) resolved. */
+enum class RecoveryOutcome
+{
+    /** In-tier ECC correction: RS accepted within threshold, or a
+     *  clean/VLEW-corrected scrub pass. */
+    Corrected,
+    /** The RS tier could not (or was not allowed to) resolve the word;
+     *  the VLEW tier — bit correction or erasure rebuild — did. */
+    FellBackToVlew,
+    /** Uncorrectable, and *reported* as such: the block is flagged UE
+     *  (poisoned) rather than returning silent garbage. */
+    DetectedUE,
+    /** The RS tier proposed more corrections than the acceptance
+     *  threshold allows — exactly the words where accepting would risk
+     *  a miscorrection (SDC) — and was rejected; the VLEW tier then
+     *  resolved the word. */
+    MiscorrectionRisk,
+};
+
+/** Human-readable outcome name. */
+const char *recoveryOutcomeName(RecoveryOutcome outcome);
+
+/** Per-component tallies of recovery verdicts. */
+struct RecoveryCounters
+{
+    Counter corrected;
+    Counter fellBackToVlew;
+    Counter detectedUe;
+    Counter miscorrectionRisk;
+
+    /** Bump the counter matching @p outcome. */
+    void count(RecoveryOutcome outcome);
+
+    /** Record "recovery.*" scalars into @p group for dumping. */
+    void record(StatGroup &group) const;
+
+    void reset();
+};
+
+} // namespace nvck
+
+#endif // NVCK_CHIPKILL_RECOVERY_HH

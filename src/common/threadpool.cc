@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/env.hh"
+
 namespace nvck {
 
 namespace {
@@ -17,12 +19,10 @@ thread_local bool inside_batch = false;
 unsigned
 ThreadPool::defaultJobCount()
 {
-    if (const char *env = std::getenv("NVCK_JOBS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return static_cast<unsigned>(v);
-    }
+    // Strict parse: a malformed NVCK_JOBS aborts with a one-line error
+    // instead of silently running at the hardware default.
+    if (const auto jobs = envPositive("NVCK_JOBS", 1024))
+        return static_cast<unsigned>(*jobs);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

@@ -1,7 +1,6 @@
 #include "kernel.hh"
 
-#include <cstdlib>
-#include <cstring>
+#include "common/env.hh"
 
 namespace nvck {
 
@@ -15,8 +14,11 @@ CodecKernel
 defaultCodecKernel()
 {
     static const CodecKernel kernel = [] {
-        const char *env = std::getenv("NVCK_CODEC_KERNEL");
-        if (env != nullptr && std::strcmp(env, "scalar") == 0)
+        // Strict parse: anything other than the two kernel names is
+        // rejected outright rather than silently running Sliced.
+        const auto idx =
+            envChoice("NVCK_CODEC_KERNEL", {"scalar", "sliced"});
+        if (idx && *idx == 0)
             return CodecKernel::Scalar;
         return CodecKernel::Sliced;
     }();

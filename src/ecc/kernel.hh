@@ -33,8 +33,9 @@ const char *codecKernelName(CodecKernel kernel);
 
 /**
  * The process-wide default kernel: Sliced, unless the environment
- * variable NVCK_CODEC_KERNEL is set to "scalar" (any other value keeps
- * the default). Read once and cached.
+ * variable NVCK_CODEC_KERNEL is set to "scalar". Any other value is
+ * rejected with a one-line error and exit(2) (common/env.hh). Read
+ * once and cached.
  */
 CodecKernel defaultCodecKernel();
 

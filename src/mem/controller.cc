@@ -168,7 +168,20 @@ MemController::closeRow(unsigned rank_bank, BankState &bank)
     const unsigned pm_rank_base = cfg.dram.banks;
     if (rank_bank < pm_rank_base)
         return 0; // DRAM rank has no EUR
-    const unsigned drained = eur.drain(rank_bank - pm_rank_base);
+    const unsigned pm_bank = rank_bank - pm_rank_base;
+    if (crashHooks.onRowClose)
+        crashHooks.onRowClose(pm_bank);
+    // Registers retire lowest slot first; the observer sees each one
+    // so crash injectors can cut the drain at any prefix.
+    unsigned drained;
+    if (crashHooks.onEurDrain) {
+        drained =
+            eur.drainSlots(pm_bank, [this, pm_bank](unsigned slot) {
+                crashHooks.onEurDrain(pm_bank, slot);
+            });
+    } else {
+        drained = eur.drain(pm_bank);
+    }
     return static_cast<Tick>(drained) * cfg.eurDrainPerReg;
 }
 
@@ -221,7 +234,12 @@ MemController::issue(Queued q)
         }
         finish = xfer_done + twr;
         if (cfg.eurEnabled && q.req.isPm) {
-            eur.recordWrite(q.rankBank - cfg.dram.banks, q.vlewSlot);
+            const unsigned pm_bank = q.rankBank - cfg.dram.banks;
+            eur.recordWrite(pm_bank, q.vlewSlot);
+            // The data burst is on the media; the code-bit delta now
+            // exists only in the (volatile) EUR until the row closes.
+            if (crashHooks.onPmWrite)
+                crashHooks.onPmWrite(q.req.addr, pm_bank, q.vlewSlot);
         }
     }
 
@@ -342,6 +360,39 @@ MemController::resetStats()
 {
     statistics = MemControllerStats{};
     eur.resetStats();
+}
+
+void
+MemController::setCrashHooks(CrashHooks hooks)
+{
+    crashHooks = std::move(hooks);
+}
+
+PowerCutReport
+MemController::powerCut()
+{
+    PowerCutReport report;
+    report.readsDropped = readQueue.size();
+    for (const Queued &q : writeQueue) {
+        if (q.req.isPm)
+            ++report.pmWritesFlushed;
+        else
+            ++report.dramWritesDropped;
+    }
+    readQueue.clear();
+    writeQueue.clear();
+    report.eurRegistersLost = eur.powerCut();
+
+    const Tick now = eq.now();
+    for (BankState &bank : banks) {
+        bank.openRow = -1;
+        bank.readyAt = now;
+        bank.lastUse = now;
+    }
+    busFreeAt = now;
+    draining = false;
+    flushing = false;
+    return report;
 }
 
 } // namespace nvck

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/event.hh"
@@ -58,6 +59,39 @@ struct MemControllerConfig
     unsigned vlewDataBytes = 256;
     /** Data chips per rank (row bytes split across them). */
     unsigned dataChips = 8;
+};
+
+/**
+ * Observation points for crash injection. Each hook fires at a spot
+ * where a power cut leaves architecturally distinct state behind:
+ * after a PM data burst lands but before its code-bit delta drains
+ * (onPmWrite), per EUR register retiring at row close in explicit
+ * lowest-slot-first order (onEurDrain), and when a row-close begins
+ * (onRowClose, before any register retires). Hooks observe only; the
+ * injector decides where the cut lands and applies it to the rank
+ * model.
+ */
+struct CrashHooks
+{
+    /** A PM write's data burst completed; code delta is now EUR-held.
+     *  Arguments: block address, bank, VLEW slot within the row. */
+    std::function<void(Addr, unsigned, unsigned)> onPmWrite;
+    /** One EUR register retired during a drain (bank, slot). */
+    std::function<void(unsigned, unsigned)> onEurDrain;
+    /** A PM row-close drain is starting (bank). */
+    std::function<void(unsigned)> onRowClose;
+};
+
+/** What a power cut found in flight (volatile state disposition). */
+struct PowerCutReport
+{
+    /** Queued PM writes inside the ADR persistence domain: flushed to
+     *  media by the platform's stored energy, not lost. */
+    std::size_t pmWritesFlushed = 0;
+    std::size_t dramWritesDropped = 0;
+    std::size_t readsDropped = 0;
+    /** Pending EUR registers (coalesced code-bit updates) lost. */
+    std::uint64_t eurRegistersLost = 0;
 };
 
 /** Aggregate controller statistics. */
@@ -112,6 +146,22 @@ class MemController
     /** Blocks per row in the PM/DRAM mapping. */
     unsigned blocksPerRow(bool is_pm) const;
 
+    /** Install crash-point observation hooks (see CrashHooks). */
+    void setCrashHooks(CrashHooks hooks);
+
+    /**
+     * Power failure. Queued PM writes sit inside the ADR persistence
+     * domain and are flushed by stored energy; everything else —
+     * queued reads, DRAM writes, pending EUR registers, open rows,
+     * bus/bank timing state — is volatile and dropped. No completion
+     * callbacks fire (the machine is dead). The controller is left
+     * idle, ready to be driven again after "reboot".
+     */
+    PowerCutReport powerCut();
+
+    /** EUR state, for crash injectors sampling pending registers. */
+    const EurModel &eurState() const { return eur; }
+
   private:
     struct Queued
     {
@@ -150,6 +200,7 @@ class MemController
     bool wakeScheduled = false;
     Tick wakeAt = 0;
     EurModel eur;
+    CrashHooks crashHooks;
     MemControllerStats statistics;
 };
 

@@ -25,10 +25,25 @@ EurModel::recordWrite(unsigned bank, unsigned vlew_slot)
 unsigned
 EurModel::drain(unsigned bank)
 {
+    return drainSlots(bank, nullptr);
+}
+
+unsigned
+EurModel::drainSlots(unsigned bank,
+                     const std::function<void(unsigned)> &on_slot)
+{
     NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
-    const unsigned count =
-        static_cast<unsigned>(std::popcount(dirtyMask[bank]));
-    dirtyMask[bank] = 0;
+    unsigned count = 0;
+    std::uint64_t mask = dirtyMask[bank];
+    while (mask) {
+        const unsigned slot =
+            static_cast<unsigned>(std::countr_zero(mask));
+        if (on_slot)
+            on_slot(slot);
+        mask &= mask - 1;
+        dirtyMask[bank] &= ~(1ull << slot);
+        ++count;
+    }
     totalCodeWrites += count;
     return count;
 }
@@ -38,6 +53,24 @@ EurModel::pendingRegisters(unsigned bank) const
 {
     NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
     return static_cast<unsigned>(std::popcount(dirtyMask[bank]));
+}
+
+std::uint64_t
+EurModel::pendingMask(unsigned bank) const
+{
+    NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
+    return dirtyMask[bank];
+}
+
+std::uint64_t
+EurModel::powerCut()
+{
+    std::uint64_t lost = 0;
+    for (auto &mask : dirtyMask) {
+        lost += static_cast<std::uint64_t>(std::popcount(mask));
+        mask = 0;
+    }
+    return lost;
 }
 
 void

@@ -12,6 +12,7 @@
 #define NVCK_MEM_EUR_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -38,8 +39,27 @@ class EurModel
      */
     unsigned drain(unsigned bank);
 
+    /**
+     * drain() with the ordering made explicit: registers retire lowest
+     * VLEW slot first, and @p on_slot observes each retirement before
+     * the register clears. A power cut between observations models a
+     * crash mid-drain (some code-bit updates applied, the rest lost).
+     */
+    unsigned drainSlots(unsigned bank,
+                        const std::function<void(unsigned)> &on_slot);
+
     /** Dirty registers currently pending for @p bank. */
     unsigned pendingRegisters(unsigned bank) const;
+
+    /** Raw dirty-slot bitmask for @p bank (bit i = VLEW slot i). */
+    std::uint64_t pendingMask(unsigned bank) const;
+
+    /**
+     * Power failure: the registerfile is volatile, so every pending
+     * code-bit update is lost. Returns how many registers were dropped
+     * (the VLEWs whose media code bits are now stale).
+     */
+    std::uint64_t powerCut();
 
     /** Total VLEW code-bit writes drained so far. */
     std::uint64_t codeWrites() const { return totalCodeWrites; }

@@ -1,0 +1,368 @@
+#include "crash.hh"
+
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "common/table.hh"
+
+namespace nvck {
+
+const char *
+crashPointName(CrashPoint point)
+{
+    switch (point) {
+      case CrashPoint::MidXorWrite:
+        return "mid-xor-write";
+      case CrashPoint::MidEurCoalesce:
+        return "mid-eur-coalesce";
+      case CrashPoint::MidRowCloseDrain:
+        return "mid-row-close-drain";
+      case CrashPoint::MidMultiBlockPersist:
+        return "mid-multi-block-persist";
+    }
+    return "?";
+}
+
+CrashTally &
+CrashTally::operator+=(const CrashTally &other)
+{
+    trials += other.trials;
+    tornOld += other.tornOld;
+    tornNew += other.tornNew;
+    tornUe += other.tornUe;
+    chipKills += other.chipKills;
+    collateralUe += other.collateralUe;
+    violations += other.violations;
+    return *this;
+}
+
+namespace {
+
+/**
+ * Random chip subset as a bitmask over @p chips chips. The fix-ups
+ * keep the mask meaningful for its crash point: a burst that latched
+ * nowhere is no write at all, and a mask covering every chip is a
+ * completed phase, not a torn one.
+ */
+std::uint16_t
+randomChipMask(Rng &rng, unsigned chips, bool forbid_empty,
+               bool forbid_full)
+{
+    const std::uint16_t full =
+        static_cast<std::uint16_t>((1u << chips) - 1);
+    std::uint16_t mask = 0;
+    for (unsigned c = 0; c < chips; ++c) {
+        if (rng.chance(0.5))
+            mask |= static_cast<std::uint16_t>(1u << c);
+    }
+    if (forbid_empty && mask == 0)
+        mask = static_cast<std::uint16_t>(1u << rng.below(chips));
+    if (forbid_full && mask == full)
+        mask &= static_cast<std::uint16_t>(~(1u << rng.below(chips)));
+    return mask;
+}
+
+/**
+ * Generate the intended new 64B value: either a dense rewrite (fresh
+ * random bytes) or a sparse update (1-3 bit flips — the shape that
+ * fits a VLEW rollback). Always differs from @p old_data.
+ */
+void
+makeNewData(Rng &rng, const std::uint8_t *old_data, std::uint8_t *out)
+{
+    if (rng.chance(0.5)) {
+        for (unsigned i = 0; i < blockBytes; i += 8) {
+            const std::uint64_t word = rng.next();
+            std::memcpy(out + i, &word, 8);
+        }
+    } else {
+        std::memcpy(out, old_data, blockBytes);
+        const unsigned flips = 1 + static_cast<unsigned>(rng.below(3));
+        for (unsigned f = 0; f < flips; ++f) {
+            const unsigned byte =
+                static_cast<unsigned>(rng.below(blockBytes));
+            out[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+    }
+    if (std::memcmp(out, old_data, blockBytes) == 0)
+        out[0] ^= 1u; // flips cancelled (or the RNG matched old)
+}
+
+/** What the oracle expects of one written block. */
+struct WrittenBlock
+{
+    unsigned block = 0;
+    std::array<std::uint8_t, blockBytes> oldData;
+    std::array<std::uint8_t, blockBytes> newData;
+    /** Completed before the cut (ADR-durable): must never roll back. */
+    bool durable = false;
+};
+
+} // namespace
+
+CrashInjector::CrashInjector(PmRank &r) : rank(r), pristine(r.snapshot())
+{
+    pristineBlocks.resize(rank.blocks());
+    for (unsigned b = 0; b < rank.blocks(); ++b)
+        rank.goldenBlock(b, pristineBlocks[b].data());
+}
+
+CrashTally
+CrashInjector::runTrial(CrashPoint point, Rng &rng,
+                        const CrashTrialOptions &opts)
+{
+    rank.restore(pristine);
+    const unsigned chips = rank.chips();
+    const std::uint16_t full_mask =
+        static_cast<std::uint16_t>((1u << chips) - 1);
+
+    // Pick the written blocks: one torn block, preceded by durable
+    // writes when the cut lands between blocks of a larger persist.
+    unsigned count = 1;
+    CrashPoint torn_point = point;
+    if (point == CrashPoint::MidMultiBlockPersist) {
+        NVCK_ASSERT(opts.maxBlocks >= 2, "multi-block needs >= 2");
+        count = 2 + static_cast<unsigned>(rng.below(opts.maxBlocks - 1));
+        torn_point = static_cast<CrashPoint>(rng.below(3));
+    }
+    std::vector<WrittenBlock> written;
+    std::vector<int> role(rank.blocks(), -1);
+    while (written.size() < count) {
+        const unsigned b = static_cast<unsigned>(rng.below(rank.blocks()));
+        if (role[b] >= 0)
+            continue;
+        role[b] = static_cast<int>(written.size());
+        WrittenBlock w;
+        w.block = b;
+        w.oldData = pristineBlocks[b];
+        makeNewData(rng, w.oldData.data(), w.newData.data());
+        w.durable = written.size() + 1 < count;
+        written.push_back(w);
+    }
+
+    for (const auto &w : written) {
+        if (w.durable) {
+            rank.writeBlock(w.block, w.newData.data());
+            continue;
+        }
+        std::uint16_t data_mask = full_mask;
+        std::uint16_t code_mask = 0;
+        switch (torn_point) {
+          case CrashPoint::MidXorWrite:
+            data_mask = randomChipMask(rng, chips, true, true);
+            break;
+          case CrashPoint::MidEurCoalesce:
+            break; // full data, nothing drained
+          case CrashPoint::MidRowCloseDrain:
+            code_mask = randomChipMask(rng, chips, true, true);
+            break;
+          case CrashPoint::MidMultiBlockPersist:
+            NVCK_PANIC("torn sub-point cannot recurse");
+        }
+        rank.applyTornWrite(w.block, w.newData.data(), data_mask,
+                            code_mask);
+    }
+
+    CrashTally tally;
+    tally.trials = 1;
+    if (rng.chance(opts.chipKillFraction)) {
+        rank.failChip(static_cast<unsigned>(rng.below(chips)), rng);
+        tally.chipKills = 1;
+    }
+
+    rank.crashRecovery(opts.threshold);
+
+    // Ground-truth oracle over the whole rank.
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        const auto read = rank.readBlock(b, out, opts.threshold);
+        const WrittenBlock *w = role[b] >= 0 ? &written[role[b]] : nullptr;
+        if (read.path == ReadPath::Failed) {
+            // Explicitly reported loss — legal everywhere, tallied
+            // against the torn block or as collateral damage.
+            if (w && !w->durable)
+                ++tally.tornUe;
+            else
+                ++tally.collateralUe;
+            continue;
+        }
+        if (!w) {
+            if (std::memcmp(out, pristineBlocks[b].data(), blockBytes))
+                ++tally.violations;
+        } else if (w->durable) {
+            // An accepted PM write is inside the ADR domain: anything
+            // but the new value (or a reported UE) breaks persistence.
+            if (std::memcmp(out, w->newData.data(), blockBytes))
+                ++tally.violations;
+        } else if (std::memcmp(out, w->newData.data(), blockBytes) == 0) {
+            ++tally.tornNew;
+        } else if (std::memcmp(out, w->oldData.data(), blockBytes) == 0) {
+            ++tally.tornOld;
+        } else {
+            ++tally.violations;
+        }
+    }
+    return tally;
+}
+
+DegradedCrashInjector::DegradedCrashInjector(DegradedRank &r)
+    : rank(r), pristine(r.snapshot())
+{
+    pristineBlocks.resize(rank.blocks());
+    for (unsigned b = 0; b < rank.blocks(); ++b)
+        rank.goldenBlock(b, pristineBlocks[b].data());
+}
+
+CrashTally
+DegradedCrashInjector::runTrial(Rng &rng)
+{
+    rank.restore(pristine);
+    const unsigned block = static_cast<unsigned>(rng.below(rank.blocks()));
+    std::array<std::uint8_t, blockBytes> old_data = pristineBlocks[block];
+    std::array<std::uint8_t, blockBytes> new_data;
+    makeNewData(rng, old_data.data(), new_data.data());
+
+    // Degraded mode has no RS tier: the only torn shape left is the
+    // EUR window (data durable, striped-VLEW code delta lost).
+    rank.applyTornWrite(block, new_data.data(), false);
+    rank.scrub();
+
+    CrashTally tally;
+    tally.trials = 1;
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        const auto read = rank.readBlock(b, out);
+        if (read.failed) {
+            if (b == block)
+                ++tally.tornUe;
+            else
+                ++tally.collateralUe;
+            continue;
+        }
+        if (b != block) {
+            if (std::memcmp(out, pristineBlocks[b].data(), blockBytes))
+                ++tally.violations;
+        } else if (std::memcmp(out, new_data.data(), blockBytes) == 0) {
+            ++tally.tornNew;
+        } else if (std::memcmp(out, old_data.data(), blockBytes) == 0) {
+            ++tally.tornOld;
+        } else {
+            ++tally.violations;
+        }
+    }
+    return tally;
+}
+
+CrashTally
+CrashCampaignTotals::total() const
+{
+    CrashTally sum;
+    for (const auto &p : points)
+        sum += p;
+    sum += degraded;
+    return sum;
+}
+
+namespace {
+
+/** One sweep point's result: which table row it feeds, plus tallies. */
+struct ChunkResult
+{
+    int point = -1; //!< CrashPoint index; -1 = degraded mode
+    CrashTally tally;
+};
+
+void
+tallyRow(Table &t, const std::string &label, const CrashTally &c)
+{
+    t.row()
+        .cell(label)
+        .cell(c.trials)
+        .cell(c.tornOld)
+        .cell(c.tornNew)
+        .cell(c.tornUe)
+        .cell(c.chipKills)
+        .cell(c.collateralUe)
+        .cell(c.violations);
+}
+
+} // namespace
+
+CrashCampaignTotals
+crashCampaign(std::ostream &os, const SweepOptions &opts,
+              const CrashCampaignConfig &cfg)
+{
+    NVCK_ASSERT(cfg.chunkTrials > 0, "empty campaign chunks");
+    ParallelSweep<ChunkResult> sweep(cfg.seed, opts);
+
+    for (unsigned p = 0; p < numCrashPoints; ++p) {
+        const auto point = static_cast<CrashPoint>(p);
+        std::uint64_t remaining =
+            cfg.trials / numCrashPoints +
+            (p < cfg.trials % numCrashPoints ? 1 : 0);
+        for (unsigned chunk = 0; remaining > 0; ++chunk) {
+            const auto batch =
+                std::min<std::uint64_t>(remaining, cfg.chunkTrials);
+            remaining -= batch;
+            sweep.add(std::string(crashPointName(point)) + " #" +
+                          std::to_string(chunk),
+                      [&cfg, point, batch](Rng &rng) {
+                          PmRank rank(cfg.rankBlocks);
+                          rank.initialize(rng);
+                          CrashInjector injector(rank);
+                          ChunkResult r;
+                          r.point = static_cast<int>(point);
+                          for (std::uint64_t t = 0; t < batch; ++t)
+                              r.tally += injector.runTrial(point, rng,
+                                                           cfg.trial);
+                          return r;
+                      });
+        }
+    }
+    std::uint64_t remaining = cfg.degradedTrials;
+    for (unsigned chunk = 0; remaining > 0; ++chunk) {
+        const auto batch =
+            std::min<std::uint64_t>(remaining, cfg.chunkTrials);
+        remaining -= batch;
+        sweep.add("degraded-eur-window #" + std::to_string(chunk),
+                  [&cfg, batch](Rng &rng) {
+                      DegradedRank rank(cfg.rankBlocks);
+                      rank.initialize(rng);
+                      DegradedCrashInjector injector(rank);
+                      ChunkResult r;
+                      for (std::uint64_t t = 0; t < batch; ++t)
+                          r.tally += injector.runTrial(rng);
+                      return r;
+                  });
+    }
+
+    CrashCampaignTotals totals;
+    for (const auto &out : sweep.run()) {
+        if (out.value.point < 0)
+            totals.degraded += out.value.tally;
+        else
+            totals.points[out.value.point] += out.value.tally;
+    }
+
+    Table t({"crash point", "trials", "-> old", "-> new",
+             "-> reported UE", "chip kills", "collateral UE",
+             "violations"});
+    for (unsigned p = 0; p < numCrashPoints; ++p)
+        tallyRow(t, crashPointName(static_cast<CrashPoint>(p)),
+                 totals.points[p]);
+    tallyRow(t, "degraded-eur-window", totals.degraded);
+    tallyRow(t, "total", totals.total());
+    t.print(os);
+
+    if (totals.violations() == 0)
+        os << "\nOracle held: every block read back as the old value,"
+              " the new value, or a reported UE.\n";
+    else
+        os << "\nORACLE VIOLATED: " << totals.violations()
+           << " block(s) read back as silent garbage or rolled back a"
+              " durable write.\n";
+    return totals;
+}
+
+} // namespace nvck

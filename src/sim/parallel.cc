@@ -46,6 +46,8 @@ sweepUsage(const char *prog, int status)
                  "  --timing     report per-point wall time on stderr\n"
                  "  --jobs N     worker count for the sweep (overrides"
                  " NVCK_JOBS)\n"
+                 "  --seed N     override the sweep's base seed (replay"
+                 " a logged run)\n"
                  "  --help       this message\n"
                  "\n"
                  "Point selection never changes a point's random stream:\n"
@@ -112,6 +114,10 @@ SweepOptions::parse(int argc, const char *const *argv)
         else if (const char *j = flagValue("--jobs", argc, argv, i))
             opts.jobs =
                 static_cast<unsigned>(parseCount(argv[0], "--jobs", j));
+        else if (const char *s = flagValue("--seed", argc, argv, i)) {
+            opts.seed = parseCount(argv[0], "--seed", s);
+            opts.seedSet = true;
+        }
         else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                          argv[i]);

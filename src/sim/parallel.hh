@@ -92,6 +92,8 @@ parallelMap(std::size_t count, const std::function<T(std::size_t)> &fn)
  *   --list        print the selected labels to stdout and run nothing
  *   --timing      report per-point wall time on stderr after the run
  *   --jobs N      worker count for this sweep (overrides NVCK_JOBS)
+ *   --seed N      override the sweep's base seed (verbatim replay of
+ *                 a CI run that logged its seed)
  *
  * Selection never changes a point's random stream: substreams are
  * keyed by declaration index, so `--filter hashmap` reproduces the
@@ -105,6 +107,8 @@ struct SweepOptions
     bool timing = false;        //!< per-point wall time on stderr
     unsigned jobs = 0;          //!< 0 = NVCK_JOBS / hardware default
     ThreadPool *pool = nullptr; //!< tests inject fixed-size pools
+    std::uint64_t seed = 0;     //!< --seed value (valid when seedSet)
+    bool seedSet = false;       //!< --seed was given on the CLI
 
     /**
      * Parse bench argv; prints usage and exits on --help or an
@@ -159,9 +163,11 @@ template <typename T>
 class ParallelSweep
 {
   public:
+    /** @p seed is the sweep's default; --seed on the CLI wins. */
     explicit ParallelSweep(std::uint64_t seed = 0,
                            SweepOptions opts = SweepOptions{})
-        : baseSeed(seed), opts_(std::move(opts))
+        : baseSeed(opts.seedSet ? opts.seed : seed),
+          opts_(std::move(opts))
     {
     }
 

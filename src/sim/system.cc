@@ -232,7 +232,14 @@ System::persistIssued(unsigned core)
 void
 System::persistDone(unsigned core, Tick when)
 {
-    NVCK_ASSERT(persistsInFlight.at(core) > 0, "persist underflow");
+    if (persistsInFlight.at(core) == 0) {
+        // A write that was in an event-queue retry/fetch chain at a
+        // power cut completes against the rebooted machine; its
+        // persist bookkeeping died with the cores.
+        NVCK_ASSERT(stalePersistAcks > 0, "persist underflow");
+        --stalePersistAcks;
+        return;
+    }
     if (--persistsInFlight[core] == 0 && drainWaiters[core]) {
         auto waiter = std::move(drainWaiters[core]);
         drainWaiters[core] = nullptr;
@@ -248,6 +255,23 @@ System::resetStats()
     sysStats = SystemStats{};
     for (auto &core : cores)
         core->resetStats();
+}
+
+PowerFailReport
+System::powerFail()
+{
+    PowerFailReport report;
+    report.caches = hierarchy.discardVolatile();
+    report.controller = mem.powerCut();
+    for (const unsigned pending : persistsInFlight)
+        report.persistsInFlight += pending;
+    stalePersistAcks += report.persistsInFlight;
+    std::fill(persistsInFlight.begin(), persistsInFlight.end(), 0u);
+    // The waiters' continuations belong to cores that no longer exist;
+    // drop them without resuming.
+    drainWaiters.assign(drainWaiters.size(), nullptr);
+    cleaningCore = -1;
+    return report;
 }
 
 } // namespace nvck

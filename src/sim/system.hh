@@ -33,6 +33,15 @@ struct SystemStats
     Counter persists;         //!< PM writes with persist semantics
 };
 
+/** Everything a power cut destroyed across the machine. */
+struct PowerFailReport
+{
+    PowerCutReport controller;
+    VolatileDiscard caches;
+    /** Persist acknowledgements that were pending at the cut. */
+    std::size_t persistsInFlight = 0;
+};
+
 /** The simulated machine. */
 class System : public CoreContext, public MemSink
 {
@@ -81,6 +90,17 @@ class System : public CoreContext, public MemSink
 
     void resetStats();
 
+    /**
+     * Power failure across the whole machine: the cache hierarchy
+     * (including OMV lines) and the controller's volatile state are
+     * dropped; queued PM writes flush inside the ADR domain; pending
+     * persist acknowledgements and drain waiters die with the cores.
+     * The event queue itself is untouched — after this the system can
+     * be driven again as the "rebooted" machine, with the bit-level
+     * rank recovery handled by the chipkill layer's crashRecovery().
+     */
+    PowerFailReport powerFail();
+
   private:
     /**
      * Enqueue a controller transaction at time >= when; @p on_accept
@@ -110,6 +130,8 @@ class System : public CoreContext, public MemSink
     Tick cleaningWhen = 0;
     std::vector<unsigned> persistsInFlight;
     std::vector<std::function<void(Tick)>> drainWaiters;
+    /** Persist acks owed to writes orphaned by a power cut. */
+    std::size_t stalePersistAcks = 0;
 };
 
 } // namespace nvck

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Power-cut semantics of the (volatile) cache hierarchy: every line —
+ * dirty, clean, and the LLC's OMV copies — vanishes without generating
+ * writebacks, and the tally reports what was lost.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+namespace nvck {
+namespace {
+
+struct RecordingSink : MemSink
+{
+    std::size_t writes = 0;
+
+    void
+    writeBlock(Addr, bool, bool) override
+    {
+        ++writes;
+    }
+};
+
+TEST(CrashCacheDiscard, DropsEverythingWithoutWritebacks)
+{
+    RecordingSink sink;
+    CacheConfig cfg;
+    CacheHierarchy caches(cfg, sink);
+
+    // Dirty PM block (creates an OMV copy on the dirty writeback into
+    // the LLC), a dirty DRAM block, and a clean PM block.
+    caches.access(0, 0x1000, true, true);
+    caches.clean(0, 0x1000, true); // push dirty copy down; OMV forms
+    caches.access(0, 0x1000, true, true);
+    caches.access(0, 0x2000, true, false);
+    caches.access(1, 0x3000, false, true);
+    const std::size_t writes_before = sink.writes;
+
+    const VolatileDiscard report = caches.discardVolatile();
+    EXPECT_GT(report.linesDropped, 0u);
+    EXPECT_GE(report.dirtyPmLost, 1u);
+    EXPECT_GE(report.dirtyDramLost, 1u);
+    // The power cut itself must not emit write traffic.
+    EXPECT_EQ(sink.writes, writes_before);
+
+    // Everything misses afterwards: the hierarchy is cold.
+    EXPECT_EQ(caches.access(0, 0x1000, false, true),
+              HitLevel::Memory);
+    EXPECT_EQ(caches.access(0, 0x2000, false, false),
+              HitLevel::Memory);
+    EXPECT_EQ(caches.dirtyPmFraction(), 0.0);
+    EXPECT_EQ(caches.omvFraction(), 0.0);
+}
+
+TEST(CrashCacheDiscard, CountsOmvLinesSeparately)
+{
+    RecordingSink sink;
+    CacheConfig cfg;
+    CacheHierarchy caches(cfg, sink);
+
+    // Write + clean + rewrite: the clean writeback leaves an OMV copy
+    // in the LLC for the next XOR write to consume.
+    caches.access(0, 0x1000, true, true);
+    caches.clean(0, 0x1000, true);
+    caches.access(0, 0x1000, true, true);
+    if (caches.omvFraction() > 0.0) {
+        const VolatileDiscard report = caches.discardVolatile();
+        EXPECT_GE(report.omvLost, 1u);
+    }
+}
+
+} // namespace
+} // namespace nvck

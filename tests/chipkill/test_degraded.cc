@@ -58,7 +58,7 @@ TEST(Degraded, SurvivesBootRberViaScrub)
     Rng rng(5);
     rank.initialize(rng);
     rank.injectErrors(rng, 1e-3);
-    EXPECT_TRUE(rank.scrub());
+    EXPECT_EQ(rank.scrub(), RecoveryOutcome::Corrected);
     EXPECT_TRUE(rank.isPristine());
 }
 

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * RecoveryOutcome taxonomy coverage: the runtime-read threshold
+ * fallback (Fig 9) must never accept an RS proposal above the
+ * acceptance threshold, and every recovery verdict must surface
+ * through the outcome enum and the recovery.* counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "chipkill/pm_rank.hh"
+#include "chipkill/recovery.hh"
+
+namespace nvck {
+namespace {
+
+constexpr unsigned testBlocks = 128; // 4 VLEWs per chip
+
+PmRank
+freshRank(std::uint64_t seed = 1, unsigned blocks = testBlocks)
+{
+    PmRank rank(blocks);
+    Rng rng(seed);
+    rank.initialize(rng);
+    return rank;
+}
+
+TEST(RecoveryOutcome, NamesEveryVerdict)
+{
+    EXPECT_STREQ(recoveryOutcomeName(RecoveryOutcome::Corrected),
+                 "corrected");
+    EXPECT_STREQ(recoveryOutcomeName(RecoveryOutcome::FellBackToVlew),
+                 "fell-back-to-vlew");
+    EXPECT_STREQ(recoveryOutcomeName(RecoveryOutcome::DetectedUE),
+                 "detected-ue");
+    EXPECT_STREQ(
+        recoveryOutcomeName(RecoveryOutcome::MiscorrectionRisk),
+        "miscorrection-risk");
+}
+
+TEST(RecoveryOutcome, CountersTallyAndRecord)
+{
+    RecoveryCounters counters;
+    counters.count(RecoveryOutcome::Corrected);
+    counters.count(RecoveryOutcome::Corrected);
+    counters.count(RecoveryOutcome::MiscorrectionRisk);
+    EXPECT_EQ(counters.corrected.value(), 2u);
+    EXPECT_EQ(counters.miscorrectionRisk.value(), 1u);
+    EXPECT_EQ(counters.fellBackToVlew.value(), 0u);
+
+    StatGroup group("rank");
+    counters.record(group);
+    EXPECT_EQ(group.values().at("recovery.corrected"), 2.0);
+    EXPECT_EQ(group.values().at("recovery.miscorrection_risk"), 1.0);
+    EXPECT_EQ(group.values().at("recovery.detected_ue"), 0.0);
+
+    counters.reset();
+    EXPECT_EQ(counters.corrected.value(), 0u);
+}
+
+TEST(RecoveryOutcome, CleanReadIsCorrected)
+{
+    PmRank rank = freshRank(21);
+    std::uint8_t out[blockBytes];
+    const auto res = rank.readBlock(17, out);
+    EXPECT_EQ(res.path, ReadPath::Clean);
+    EXPECT_EQ(res.outcome, RecoveryOutcome::Corrected);
+}
+
+TEST(RecoveryOutcome, WithinThresholdErrorsAreRsAccepted)
+{
+    PmRank rank = freshRank(22);
+    const unsigned block = 9;
+    rank.corruptByte(0, block, 3, 0x01);
+    rank.corruptByte(4, block, 5, 0x80);
+    std::uint8_t out[blockBytes], golden[blockBytes];
+    const auto res = rank.readBlock(block, out);
+    EXPECT_EQ(res.path, ReadPath::RsAccepted);
+    EXPECT_EQ(res.outcome, RecoveryOutcome::Corrected);
+    EXPECT_EQ(res.rsCorrections, 2u);
+    EXPECT_TRUE(res.dataCorrect);
+    rank.goldenBlock(block, golden);
+    EXPECT_EQ(std::memcmp(out, golden, blockBytes), 0);
+    EXPECT_EQ(rank.recoveryCounters().corrected.value(), 1u);
+}
+
+TEST(RecoveryOutcome, OverThresholdErrorsRouteToVlewNeverRs)
+{
+    // 3 byte errors in distinct chips: within the RS(72,64) t=4 power
+    // but above the acceptance threshold of 2, so the read MUST reject
+    // the RS proposal (miscorrection risk) and fall back to the VLEWs.
+    PmRank rank = freshRank(23);
+    const unsigned block = 40;
+    rank.corruptByte(1, block, 0, 0x10);
+    rank.corruptByte(3, block, 2, 0x02);
+    rank.corruptByte(6, block, 7, 0x40);
+    std::uint8_t out[blockBytes], golden[blockBytes];
+    const auto res = rank.readBlock(block, out);
+    EXPECT_EQ(res.path, ReadPath::VlewFallback);
+    EXPECT_EQ(res.outcome, RecoveryOutcome::MiscorrectionRisk);
+    EXPECT_GT(res.vlewBitCorrections, 0u);
+    EXPECT_TRUE(res.dataCorrect);
+    rank.goldenBlock(block, golden);
+    EXPECT_EQ(std::memcmp(out, golden, blockBytes), 0);
+    EXPECT_EQ(rank.recoveryCounters().miscorrectionRisk.value(), 1u);
+    EXPECT_EQ(rank.recoveryCounters().corrected.value(), 0u);
+}
+
+TEST(RecoveryOutcome, ThresholdSweepNeverAcceptsAboveThreshold)
+{
+    // Inject k = 1..4 single-bit byte errors (distinct chips) and
+    // check the acceptance boundary exactly: k <= 2 is RS-accepted,
+    // k > 2 falls back, and no accepted read ever reports more than
+    // `threshold` corrections.
+    for (unsigned k = 1; k <= 4; ++k) {
+        PmRank rank = freshRank(100 + k);
+        const unsigned block = 8 * k + 1;
+        for (unsigned e = 0; e < k; ++e)
+            rank.corruptByte(2 * e, block, e, 0x04);
+        std::uint8_t out[blockBytes];
+        const auto res = rank.readBlock(block, out);
+        ASSERT_TRUE(res.dataCorrect) << "k=" << k;
+        if (k <= 2) {
+            EXPECT_EQ(res.path, ReadPath::RsAccepted) << "k=" << k;
+            EXPECT_LE(res.rsCorrections, 2u);
+        } else {
+            EXPECT_EQ(res.path, ReadPath::VlewFallback) << "k=" << k;
+            EXPECT_EQ(res.outcome,
+                      RecoveryOutcome::MiscorrectionRisk);
+        }
+    }
+}
+
+TEST(RecoveryOutcome, PoisonedBlockReadsAsDetectedUE)
+{
+    PmRank rank = freshRank(31);
+    RankSnapshot pristine = rank.snapshot();
+
+    // Tear a write so that data landed on every chip but no code-bit
+    // delta drained, with a delta too dense for BCH rollback, and a
+    // sibling torn chip pattern recovery cannot resolve: the block
+    // must come back poisoned, and reads must say so.
+    std::uint8_t next[blockBytes];
+    for (unsigned b = 0; b < blockBytes; ++b)
+        next[b] = static_cast<std::uint8_t>(0xA5 ^ b);
+    const unsigned block = 12;
+    rank.applyTornWrite(block, next, 0x00Fu, 0);
+    const auto report = rank.crashRecovery();
+    if (rank.isPoisoned(block)) {
+        std::uint8_t out[blockBytes];
+        const auto res = rank.readBlock(block, out);
+        EXPECT_EQ(res.path, ReadPath::Failed);
+        EXPECT_EQ(res.outcome, RecoveryOutcome::DetectedUE);
+        EXPECT_FALSE(report.ueBlocks.empty());
+
+        // A completed rewrite re-validates the block.
+        rank.writeBlock(block, next);
+        const auto after = rank.readBlock(block, out);
+        EXPECT_EQ(after.outcome, RecoveryOutcome::Corrected);
+        EXPECT_EQ(std::memcmp(out, next, blockBytes), 0);
+    }
+
+    rank.restore(pristine);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+} // namespace
+} // namespace nvck

@@ -106,11 +106,11 @@ TEST(ThreadPool, DefaultJobCountHonorsEnv)
 {
     ::setenv("NVCK_JOBS", "3", 1);
     EXPECT_EQ(ThreadPool::defaultJobCount(), 3u);
-    ::setenv("NVCK_JOBS", "0", 1);  // invalid -> hardware concurrency
-    EXPECT_GE(ThreadPool::defaultJobCount(), 1u);
-    ::setenv("NVCK_JOBS", "junk", 1);
-    EXPECT_GE(ThreadPool::defaultJobCount(), 1u);
     ::unsetenv("NVCK_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobCount(), 1u);
+    // Malformed values no longer fall back silently: common/env.hh
+    // rejects them with a one-line error and exit(2), covered by the
+    // EnvParse death tests.
 }
 
 } // namespace

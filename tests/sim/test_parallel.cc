@@ -254,7 +254,7 @@ TEST(SweepOptions, ParseRecognizesEveryFlagForm)
 {
     const char *argv[] = {"bench",          "--points", "3",
                           "--filter=hash",  "--timing", "--jobs",
-                          "2"};
+                          "2",              "--seed",   "42"};
     const auto opts =
         SweepOptions::parse(static_cast<int>(std::size(argv)), argv);
     EXPECT_EQ(opts.points, 3u);
@@ -262,15 +262,49 @@ TEST(SweepOptions, ParseRecognizesEveryFlagForm)
     EXPECT_TRUE(opts.timing);
     EXPECT_EQ(opts.jobs, 2u);
     EXPECT_FALSE(opts.list);
+    EXPECT_TRUE(opts.seedSet);
+    EXPECT_EQ(opts.seed, 42u);
 
     const char *eq[] = {"bench", "--points=12", "--filter", "omv",
-                        "--list"};
+                        "--list", "--seed=2018"};
     const auto alt =
         SweepOptions::parse(static_cast<int>(std::size(eq)), eq);
     EXPECT_EQ(alt.points, 12u);
     EXPECT_EQ(alt.filter, "omv");
     EXPECT_TRUE(alt.list);
     EXPECT_FALSE(alt.timing);
+    EXPECT_TRUE(alt.seedSet);
+    EXPECT_EQ(alt.seed, 2018u);
+}
+
+TEST(SweepOptions, SeedOverrideChangesEveryPointStream)
+{
+    // The --seed override must reseed the sweep (so a logged CI seed
+    // replays verbatim) while an unset seed keeps the bench default.
+    auto draw = [](SweepOptions opts) {
+        ThreadPool pool(2);
+        opts.pool = &pool;
+        ParallelSweep<std::uint64_t> sweep(7, opts);
+        for (int i = 0; i < 4; ++i)
+            sweep.add("p" + std::to_string(i),
+                      [](Rng &rng) { return rng.next(); });
+        std::vector<std::uint64_t> vals;
+        for (const auto &out : sweep.run())
+            vals.push_back(out.value);
+        return vals;
+    };
+
+    SweepOptions plain;
+    SweepOptions reseeded;
+    reseeded.seed = 99;
+    reseeded.seedSet = true;
+    SweepOptions same_as_default;
+    same_as_default.seed = 7;
+    same_as_default.seedSet = true;
+
+    EXPECT_NE(draw(plain), draw(reseeded));
+    EXPECT_EQ(draw(plain), draw(same_as_default));
+    EXPECT_EQ(draw(reseeded), draw(reseeded));
 }
 
 TEST(ParallelEngine, SdcMonteCarloDeterministicAndNearAnalytic)
