@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "chipkill/pm_rank.hh"
+#include "chipkill/scrub.hh"
 #include "common/log.hh"
 
 namespace nvck {
@@ -190,12 +191,15 @@ RecoveryOutcome
 DegradedRank::scrub()
 {
     bool any_lost = false;
+    // Batched sweep (scrub.hh): bit errors and in-budget torn writes
+    // are corrected in place; only the uncorrectable spans come back
+    // for policy. Poisoning happens here, after the parallel barrier,
+    // because the bit-packed flag vector must not see racing writers.
+    const auto outcomes = ScrubEngine().sweep(*this);
     for (unsigned v = 0; v < numVlews; ++v) {
         if (poisonedVlew[v])
             continue;
-        BitVec cw = assembleVlew(v);
-        const auto res = vlewCodec.decode(cw);
-        if (res.status == DecodeStatus::Uncorrectable) {
+        if (outcomes[v].corrections < 0) {
             // Without an RS tier there is nothing left to resolve the
             // span with; zero it and report the loss instead of
             // leaving silent garbage behind.
@@ -206,10 +210,7 @@ DegradedRank::scrub()
             poisonedVlew[v] = true;
             any_lost = true;
             recCounters.count(RecoveryOutcome::DetectedUE);
-            continue;
         }
-        if (res.status == DecodeStatus::Corrected)
-            storeVlew(v, cw);
     }
     // The survivors are the ground truth now (a torn write may have
     // legitimately rolled back to the old data).

@@ -147,6 +147,9 @@ class DegradedRank
     void goldenBlock(unsigned block, std::uint8_t *out) const;
 
   private:
+    /** The batched scrub engine streams the stores directly. */
+    friend class ScrubEngine;
+
     BitVec assembleVlew(unsigned vlew) const;
     void storeVlew(unsigned vlew, const BitVec &cw);
 

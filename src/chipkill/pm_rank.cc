@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "chipkill/scrub.hh"
 #include "common/log.hh"
 #include "ecc/crc.hh"
 
@@ -510,18 +511,23 @@ PmRank::bootScrub()
     ScrubReport report;
     std::vector<bool> chip_failed(dataChips + 1, false);
 
+    // One batched residue pass over the whole rank (scrub.hh): clean
+    // VLEWs cost only the streaming residue, dirty ones the fast
+    // corrupt-word decode. An uncorrectable VLEW marks its chip for
+    // the wholesale rebuild below.
+    const auto outcomes = ScrubEngine().sweep(*this);
     for (unsigned chip = 0; chip <= dataChips; ++chip) {
         for (unsigned v = 0; v < numVlews; ++v) {
             ++report.vlewsScanned;
-            const int corrected = correctVlew(chip, v);
-            if (corrected < 0) {
+            const auto &o =
+                outcomes[static_cast<std::size_t>(chip) * numVlews +
+                         v];
+            if (o.corrections < 0) {
                 chip_failed[chip] = true;
-                break; // whole chip is rebuilt below
-            }
-            if (corrected > 0) {
+            } else if (o.corrections > 0) {
                 ++report.vlewsWithErrors;
                 report.bitsCorrected +=
-                    static_cast<std::uint64_t>(corrected);
+                    static_cast<std::uint64_t>(o.corrections);
             }
         }
     }
@@ -791,26 +797,22 @@ PmRank::crashRecovery(unsigned threshold)
     std::vector<unsigned> torn_count(total_chips, 0);
     std::vector<std::vector<bool>> rolled_back(
         total_chips, std::vector<bool>(numBlocks, false));
+    const auto outcomes = ScrubEngine().sweep(*this);
     for (unsigned chip = 0; chip < total_chips; ++chip) {
         for (unsigned v = 0; v < numVlews; ++v) {
             ++report.vlewsScanned;
-            const std::uint8_t *span =
-                &chipStore[chip][static_cast<std::size_t>(v) *
-                                 geom.vlewDataBytes];
-            const std::vector<std::uint8_t> before(
-                span, span + geom.vlewDataBytes);
-            const int corrected = correctVlew(chip, v);
-            if (corrected < 0) {
+            const auto &o =
+                outcomes[static_cast<std::size_t>(chip) * numVlews +
+                         v];
+            if (o.corrections < 0) {
                 torn[chip][v] = true;
                 ++torn_count[chip];
-            } else if (corrected > 0) {
+            } else if (o.corrections > 0) {
                 ++report.vlewsCorrected;
                 report.bitsCorrected +=
-                    static_cast<std::uint64_t>(corrected);
+                    static_cast<std::uint64_t>(o.corrections);
                 for (unsigned b = 0; b < blocksPerVlew; ++b) {
-                    if (std::memcmp(&before[b * chipBeatBytes],
-                                    span + b * chipBeatBytes,
-                                    chipBeatBytes))
+                    if (o.changedBlocks & (1ull << b))
                         rolled_back[chip][v * blocksPerVlew + b] = true;
                 }
             }

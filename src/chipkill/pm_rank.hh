@@ -275,6 +275,9 @@ class PmRank
     void resetRecoveryStats() { recCounters.reset(); }
 
   private:
+    /** The batched scrub engine streams the stores directly. */
+    friend class ScrubEngine;
+
     /** Stored (possibly erroneous) 8B beat of @p chip at @p block. */
     std::uint8_t *chipBeat(unsigned chip, unsigned block);
     const std::uint8_t *chipBeat(unsigned chip, unsigned block) const;

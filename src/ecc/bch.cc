@@ -68,6 +68,79 @@ pickFieldDegree(unsigned data_bits, unsigned correct_bits)
                " t=", correct_bits);
 }
 
+/**
+ * Compile-time-width core of the shifted-domain wide residue run: the
+ * whole W-word remainder lives in registers for the entire run of
+ * chunks instead of bouncing through memory once per step. In the
+ * shifted domain one step is
+ *   x = rem[W-1] ^ chunk;  word-shift rem up;  XOR eight lane rows
+ * with no cross-word extraction and no top-word masking. @p next(c)
+ * must return the c-th chunk in high-to-low absorption order.
+ */
+template <unsigned W, typename Next>
+void
+runWideFixed(std::uint64_t *state, const std::uint64_t *wtab,
+             std::size_t nchunks, Next &&next)
+{
+    std::uint64_t rem[W];
+    for (unsigned w = 0; w < W; ++w)
+        rem[w] = state[w];
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::uint64_t x = rem[W - 1] ^ next(c);
+        for (unsigned w = W; w-- > 1;)
+            rem[w] = rem[w - 1];
+        rem[0] = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            const std::uint64_t *row =
+                &wtab[(static_cast<std::size_t>(b) * 256 +
+                       ((x >> (8 * b)) & 0xFF)) *
+                      W];
+            for (unsigned w = 0; w < W; ++w)
+                rem[w] ^= row[w];
+        }
+    }
+    for (unsigned w = 0; w < W; ++w)
+        state[w] = rem[w];
+}
+
+/** Width dispatch for runWideFixed, with a runtime-width fallback. */
+template <typename Next>
+void
+runWide(std::uint64_t *state, const std::uint64_t *wtab, unsigned width,
+        std::size_t nchunks, Next &&next)
+{
+    switch (width) {
+      case 1:
+        return runWideFixed<1>(state, wtab, nchunks, next);
+      case 2:
+        return runWideFixed<2>(state, wtab, nchunks, next);
+      case 3:
+        return runWideFixed<3>(state, wtab, nchunks, next);
+      case 4:
+        return runWideFixed<4>(state, wtab, nchunks, next);
+      case 5:
+        return runWideFixed<5>(state, wtab, nchunks, next);
+      case 6:
+        return runWideFixed<6>(state, wtab, nchunks, next);
+      default:
+        break;
+    }
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::uint64_t x = state[width - 1] ^ next(c);
+        for (unsigned w = width; w-- > 1;)
+            state[w] = state[w - 1];
+        state[0] = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            const std::uint64_t *row =
+                &wtab[(static_cast<std::size_t>(b) * 256 +
+                       ((x >> (8 * b)) & 0xFF)) *
+                      width];
+            for (unsigned w = 0; w < width; ++w)
+                state[w] ^= row[w];
+        }
+    }
+}
+
 } // namespace
 
 BchCodec::BchCodec(unsigned data_bits, unsigned correct_bits,
@@ -110,6 +183,15 @@ BchCodec::BchCodec(unsigned data_bits, unsigned correct_bits,
     chienStride.resize(correctBits + 1, 1);
     for (unsigned j = 1; j <= correctBits; ++j)
         chienStride[j] = gf.alphaPow(gf.order() - j);
+
+    // Residue-to-syndrome fixups: rem = (c(x) * x^r) mod g evaluates at
+    // a root alpha^j of g to c(alpha^j) * alpha^(rj), so S_j is
+    // rem(alpha^j) scaled by alpha^(-rj).
+    resFix.resize(correctBits);
+    const std::uint64_t ord = gf.order();
+    const std::uint64_t rneg = (ord - checkBits % ord) % ord;
+    for (unsigned idx = 0; idx < correctBits; ++idx)
+        resFix[idx] = gf.alphaPow((rneg * (2 * idx + 1)) % ord);
 
     setKernel(kernel);
 }
@@ -169,6 +251,41 @@ BchCodec::buildSlicedTables()
         }
     }
 
+    // 64-bit-wide residue lanes for the streaming scrub pass: lane b
+    // entry v holds (v(x) * x^(8b) * x^r) mod g, grown from the
+    // encTable rows by serial x-multiplications (stepBit with a zero
+    // input bit), so the lanes stay bit-identical to the reference
+    // LFSR. The rows are stored pre-shifted left by 64*remWords - r
+    // (the shifted domain of shiftRemUp), which makes the hot wide
+    // step branch-, extraction-, and mask-free. The wide feedback
+    // chunk must fit inside the remainder, so only codes with r >= 64
+    // get them.
+    if (checkBits >= 64) {
+        const unsigned up = 64u * remWords - checkBits;
+        wideTab.assign(8u * 256u * remWords, 0);
+        std::vector<std::uint64_t> row(remWords);
+        for (unsigned v = 0; v < 256; ++v) {
+            std::copy_n(encTable.begin() + v * remWords, remWords,
+                        row.begin());
+            for (unsigned b = 0; b < 8; ++b) {
+                if (b > 0) {
+                    for (unsigned s = 0; s < 8; ++s)
+                        stepBit(row, false);
+                }
+                std::uint64_t *dst =
+                    &wideTab[(static_cast<std::size_t>(b) * 256 + v) *
+                             remWords];
+                if (up == 0) {
+                    std::copy(row.begin(), row.end(), dst);
+                    continue;
+                }
+                for (unsigned w = remWords; w-- > 1;)
+                    dst[w] = (row[w] << up) | (row[w - 1] >> (64 - up));
+                dst[0] = row[0] << up;
+            }
+        }
+    }
+
     // Per-byte partial syndromes: synByteTab[j][v] = sum over set bits
     // b of v of alpha^((2j+1) * b), combined across bytes by Horner
     // steps of stride alpha^(8 * (2j+1)).
@@ -192,12 +309,14 @@ std::size_t
 BchCodec::tableBytes() const
 {
     std::size_t bytes = genWords.size() * sizeof(std::uint64_t) +
-                        chienStride.size() * sizeof(GfElem);
+                        chienStride.size() * sizeof(GfElem) +
+                        resFix.size() * sizeof(GfElem);
     if (kern == CodecKernel::Scalar) {
         for (const auto &tab : oddSynTables)
             bytes += tab.size() * sizeof(GfElem);
     } else {
         bytes += encTable.size() * sizeof(std::uint64_t) +
+                 wideTab.size() * sizeof(std::uint64_t) +
                  synByteTab.size() * sizeof(GfElem) +
                  synStride.size() * sizeof(GfElem);
     }
@@ -232,6 +351,52 @@ BchCodec::scalarResidue(const std::vector<std::uint64_t> &words,
     return rem;
 }
 
+void
+BchCodec::byteStep(std::vector<std::uint64_t> &rem,
+                   unsigned in_byte) const
+{
+    // Slicing-by-8: with rem = low + top8 * x^(r-8),
+    //   (rem * x^8 + v(x) * x^r) mod g
+    //     = low * x^8  ^  ((top8 ^ v)(x) * x^r mod g)
+    // and the second term is one encTable row.
+    const unsigned tb_word = (checkBits - 8) >> 6;
+    const unsigned tb_shift = (checkBits - 8) & 63;
+    std::uint64_t f = rem[tb_word] >> tb_shift;
+    if (tb_shift + 8 > 64)
+        f |= rem[tb_word + 1] << (64 - tb_shift);
+    const unsigned row_idx =
+        static_cast<unsigned>((f ^ in_byte) & 0xFF);
+    for (unsigned w = remWords; w-- > 1;)
+        rem[w] = (rem[w] << 8) | (rem[w - 1] >> 56);
+    rem[0] <<= 8;
+    rem[remWords - 1] &= remTopMask;
+    const std::uint64_t *row = &encTable[row_idx * remWords];
+    for (unsigned w = 0; w < remWords; ++w)
+        rem[w] ^= row[w];
+}
+
+void
+BchCodec::shiftRemUp(std::vector<std::uint64_t> &rem) const
+{
+    const unsigned up = 64u * remWords - checkBits;
+    if (up == 0)
+        return;
+    for (unsigned w = remWords; w-- > 1;)
+        rem[w] = (rem[w] << up) | (rem[w - 1] >> (64 - up));
+    rem[0] <<= up;
+}
+
+void
+BchCodec::shiftRemDown(std::vector<std::uint64_t> &rem) const
+{
+    const unsigned up = 64u * remWords - checkBits;
+    if (up == 0)
+        return;
+    for (unsigned w = 0; w + 1 < remWords; ++w)
+        rem[w] = (rem[w] >> up) | (rem[w + 1] << (64 - up));
+    rem[remWords - 1] >>= up;
+}
+
 std::vector<std::uint64_t>
 BchCodec::slicedResidue(const std::vector<std::uint64_t> &words,
                         std::size_t nbits) const
@@ -251,27 +416,10 @@ BchCodec::slicedResidue(const std::vector<std::uint64_t> &words,
         stepBit(rem, ((words[i >> 6] >> (i & 63)) & 1) != 0);
     }
 
-    // Slicing-by-8: with rem = low + top8 * x^(r-8),
-    //   (rem * x^8 + v(x) * x^r) mod g
-    //     = low * x^8  ^  ((top8 ^ v)(x) * x^r mod g)
-    // and the second term is one encTable row.
-    const unsigned tb_word = (checkBits - 8) >> 6;
-    const unsigned tb_shift = (checkBits - 8) & 63;
     while (i != 0) {
         i -= 8;
-        const std::uint64_t in_byte = (words[i >> 6] >> (i & 63)) & 0xFF;
-        std::uint64_t f = rem[tb_word] >> tb_shift;
-        if (tb_shift + 8 > 64)
-            f |= rem[tb_word + 1] << (64 - tb_shift);
-        const unsigned row_idx =
-            static_cast<unsigned>((f ^ in_byte) & 0xFF);
-        for (unsigned w = remWords; w-- > 1;)
-            rem[w] = (rem[w] << 8) | (rem[w - 1] >> 56);
-        rem[0] <<= 8;
-        rem[remWords - 1] &= remTopMask;
-        const std::uint64_t *row = &encTable[row_idx * remWords];
-        for (unsigned w = 0; w < remWords; ++w)
-            rem[w] ^= row[w];
+        byteStep(rem, static_cast<unsigned>(
+                          (words[i >> 6] >> (i & 63)) & 0xFF));
     }
     return rem;
 }
@@ -422,26 +570,169 @@ BchCodec::syndromesSliced(const BitVec &codeword) const
     return out;
 }
 
-BchDecodeResult
-BchCodec::decode(BitVec &codeword) const
+void
+BchCodec::residueStart(BchResidue &state) const
 {
-    NVCK_ASSERT(codeword.size() == n(), "BCH decode: bad length");
-    BchDecodeResult result;
+    state.rem.assign(remWords, 0);
+}
 
-    if (isCodeword(codeword)) {
-        result.status = DecodeStatus::Clean;
-        return result;
+void
+BchCodec::residueAbsorbBytes(BchResidue &state, const std::uint8_t *bytes,
+                             std::size_t count) const
+{
+    auto &rem = state.rem;
+    std::size_t i = count;
+    if (kern == CodecKernel::Sliced && checkBits >= 8) {
+        if (!wideTab.empty() && i >= 8) {
+            // Whole 8-byte chunks from the top down through the
+            // register-resident wide run; the low i % 8 bytes fall
+            // through to the byte step below.
+            const std::size_t chunks = i / 8;
+            const std::size_t low = i - 8 * chunks;
+            shiftRemUp(rem);
+            runWide(rem.data(), wideTab.data(), remWords, chunks,
+                    [&](std::size_t c) {
+                        const std::uint8_t *p =
+                            bytes + low + 8 * (chunks - 1 - c);
+                        std::uint64_t v = 0;
+                        for (unsigned b = 0; b < 8; ++b)
+                            v |= static_cast<std::uint64_t>(p[b])
+                                 << (8 * b);
+                        return v;
+                    });
+            shiftRemDown(rem);
+            i = low;
+        }
+        while (i != 0) {
+            --i;
+            byteStep(rem, bytes[i]);
+        }
+        return;
     }
+    while (i != 0) {
+        --i;
+        for (unsigned b = 8; b-- > 0;)
+            stepBit(rem, ((bytes[i] >> b) & 1) != 0);
+    }
+}
 
-    const std::vector<GfElem> syn = syndromes(codeword);
+void
+BchCodec::residueAbsorbBits(BchResidue &state, const std::uint64_t *words,
+                            std::size_t nbits) const
+{
+    auto &rem = state.rem;
+    std::size_t i = nbits;
+    if (kern == CodecKernel::Sliced && checkBits >= 8) {
+        // Leading partial byte bit-serially so the byte and chunk
+        // extractions below never straddle a storage word.
+        while ((i & 7) != 0) {
+            --i;
+            stepBit(rem, ((words[i >> 6] >> (i & 63)) & 1) != 0);
+        }
+        if (!wideTab.empty() && i >= 64) {
+            const std::size_t chunks = i / 64;
+            const std::size_t low = i - 64 * chunks;
+            shiftRemUp(rem);
+            runWide(rem.data(), wideTab.data(), remWords, chunks,
+                    [&](std::size_t c) {
+                        const std::size_t off =
+                            low + 64 * (chunks - 1 - c);
+                        std::uint64_t chunk =
+                            words[off >> 6] >> (off & 63);
+                        if ((off & 63) != 0)
+                            chunk |= words[(off >> 6) + 1]
+                                     << (64 - (off & 63));
+                        return chunk;
+                    });
+            shiftRemDown(rem);
+            i = low;
+        }
+        while (i >= 8) {
+            i -= 8;
+            byteStep(rem, static_cast<unsigned>(
+                              (words[i >> 6] >> (i & 63)) & 0xFF));
+        }
+    }
+    while (i != 0) {
+        --i;
+        stepBit(rem, ((words[i >> 6] >> (i & 63)) & 1) != 0);
+    }
+}
 
-    // Berlekamp-Massey over GF(2^m).
-    GfPoly lambda = GfPoly::constant(1);
+bool
+BchCodec::residueIsZero(const BchResidue &state) const
+{
+    return std::all_of(state.rem.begin(), state.rem.end(),
+                       [](std::uint64_t w) { return w == 0; });
+}
+
+std::vector<GfElem>
+BchCodec::syndromesFromResidue(const BchResidue &state) const
+{
+    std::vector<GfElem> out(2 * correctBits, 0);
+    const auto &words = state.rem;
+    if (kern == CodecKernel::Sliced && checkBits >= 8) {
+        // Same Horner fold as syndromesSliced, but over the r-bit
+        // remainder instead of the n-bit codeword.
+        const std::size_t n_bytes = (checkBits + 7) / 8;
+        const unsigned tail_bits = checkBits & 7;
+        const std::uint64_t tail_mask =
+            tail_bits != 0 ? (1ull << tail_bits) - 1 : 0xFFull;
+        for (unsigned idx = 0; idx < correctBits; ++idx) {
+            const GfElem *tab =
+                &synByteTab[static_cast<std::size_t>(idx) * 256];
+            const GfElem stride = synStride[idx];
+            GfElem acc = 0;
+            for (std::size_t w = n_bytes; w-- > 0;) {
+                const std::size_t bit = w * 8;
+                std::uint64_t byte =
+                    (words[bit >> 6] >> (bit & 63)) & 0xFF;
+                if (w == n_bytes - 1)
+                    byte &= tail_mask;
+                acc = gf.mul(acc, stride) ^ tab[byte];
+            }
+            out[2 * idx] = gf.mul(acc, resFix[idx]);
+        }
+    } else {
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            std::uint64_t bits = words[w];
+            while (bits) {
+                const unsigned i = static_cast<unsigned>(
+                    w * 64 + std::countr_zero(bits));
+                bits &= bits - 1;
+                for (unsigned idx = 0; idx < correctBits; ++idx)
+                    out[2 * idx] ^= oddSynTables[idx][i];
+            }
+        }
+        for (unsigned idx = 0; idx < correctBits; ++idx)
+            out[2 * idx] = gf.mul(out[2 * idx], resFix[idx]);
+    }
+    for (unsigned j = 2; j <= 2 * correctBits; j += 2) {
+        const GfElem half = out[j / 2 - 1];
+        out[j - 1] = gf.mul(half, half);
+    }
+    return out;
+}
+
+bool
+BchCodec::bmLocator(const std::vector<GfElem> &syn, bool fast,
+                    GfPoly &lambda, unsigned &len) const
+{
+    lambda = GfPoly::constant(1);
     GfPoly prev = GfPoly::constant(1);
     unsigned l = 0;
     unsigned shift = 1;
     GfElem prev_disc = 1;
     for (unsigned step = 0; step < 2 * correctBits; ++step) {
+        if (fast && (step & 1) != 0) {
+            // Berlekamp's binary trick: this step consumes the even
+            // syndrome S_{step+1} = S_{(step+1)/2}^2, whose
+            // discrepancy is structurally zero for any received word
+            // of a binary code, so the full iteration always lands in
+            // the disc == 0 branch here.
+            ++shift;
+            continue;
+        }
         GfElem disc = syn[step];
         for (unsigned i = 1; i <= l; ++i)
             disc ^= gf.mul(lambda.coeff(i), syn[step - i]);
@@ -462,17 +753,20 @@ BchCodec::decode(BitVec &codeword) const
             ++shift;
         }
         lambda = next;
+        // The register length never shrinks, so once it exceeds t the
+        // word is uncorrectable no matter what the remaining steps do.
+        if (fast && l > correctBits)
+            break;
     }
+    len = l;
+    return l <= correctBits && lambda.degree() == static_cast<int>(l);
+}
 
-    if (l > correctBits || lambda.degree() != static_cast<int>(l)) {
-        result.status = DecodeStatus::Uncorrectable;
-        return result;
-    }
-
-    // Chien search over the shortened positions [0, n), stepping each
-    // term by the precomputed alpha^(-j) strides.
-    std::vector<std::uint32_t> error_positions;
-    const unsigned nu = l;
+bool
+BchCodec::chienSearch(const GfPoly &lambda, unsigned nu, bool early_stop,
+                      std::vector<std::uint32_t> &positions) const
+{
+    positions.clear();
     // term[j] tracks lambda_j * alpha^(-i*j) as i advances.
     std::vector<GfElem> term(nu + 1);
     for (unsigned j = 0; j <= nu; ++j)
@@ -482,15 +776,75 @@ BchCodec::decode(BitVec &codeword) const
         GfElem sum = 0;
         for (unsigned j = 0; j <= nu; ++j)
             sum ^= term[j];
-        if (sum == 0)
-            error_positions.push_back(i);
+        if (sum == 0) {
+            positions.push_back(i);
+            // A degree-nu locator has at most nu roots in the whole
+            // field: after the nu-th one the rest of the scan can only
+            // confirm there are no more.
+            if (early_stop && positions.size() == nu)
+                return true;
+        }
         for (unsigned j = 1; j <= nu; ++j)
             term[j] = gf.mul(term[j], chienStride[j]);
     }
+    // Fewer than nu roots in the shortened range (or repeated roots):
+    // the pattern is uncorrectable.
+    return positions.size() == nu;
+}
 
-    if (error_positions.size() != nu) {
-        // Roots outside the shortened range (or repeated roots): the
-        // pattern is uncorrectable.
+BchDecodeResult
+BchCodec::solveFromResidue(const BchResidue &state,
+                           ScrubDecodePath path) const
+{
+    BchDecodeResult result;
+    if (residueIsZero(state))
+        return result; // Clean
+
+    const std::vector<GfElem> syn = syndromesFromResidue(state);
+    const bool fast = path == ScrubDecodePath::Fast;
+
+    GfPoly lambda;
+    unsigned nu = 0;
+    if (!bmLocator(syn, fast, lambda, nu)) {
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+    std::vector<std::uint32_t> positions;
+    if (!chienSearch(lambda, nu, fast, positions)) {
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+    result.status = DecodeStatus::Corrected;
+    result.corrections = nu;
+    result.positions = std::move(positions);
+    return result;
+}
+
+BchDecodeResult
+BchCodec::decode(BitVec &codeword) const
+{
+    NVCK_ASSERT(codeword.size() == n(), "BCH decode: bad length");
+    BchDecodeResult result;
+
+    if (isCodeword(codeword)) {
+        result.status = DecodeStatus::Clean;
+        return result;
+    }
+
+    const std::vector<GfElem> syn = syndromes(codeword);
+
+    // Berlekamp-Massey over GF(2^m), then the exhaustive Chien scan:
+    // the reference pipeline (ScrubDecodePath::Full semantics).
+    GfPoly lambda;
+    unsigned nu = 0;
+    if (!bmLocator(syn, /*fast=*/false, lambda, nu)) {
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+
+    std::vector<std::uint32_t> error_positions;
+    if (!chienSearch(lambda, nu, /*early_stop=*/false,
+                     error_positions)) {
         result.status = DecodeStatus::Uncorrectable;
         return result;
     }

@@ -27,6 +27,8 @@
 
 namespace nvck {
 
+class GfPoly;
+
 /** Outcome of a BCH decode attempt. */
 enum class DecodeStatus
 {
@@ -43,6 +45,20 @@ struct BchDecodeResult
     unsigned corrections = 0;
     /** Corrected bit positions within the codeword. */
     std::vector<std::uint32_t> positions;
+};
+
+/**
+ * Streaming residue accumulator for the batched scrub pass. The caller
+ * feeds the received word from its highest coefficient downward in
+ * arbitrary byte/word segments; the state tracks (prefix(x) * x^r)
+ * mod g, so after the whole word is absorbed an all-zero state means
+ * "codeword" with no syndrome work at all, and a dirty word's
+ * syndromes can be evaluated from the r-bit remainder instead of the
+ * n-bit codeword (syndromesFromResidue / solveFromResidue).
+ */
+struct BchResidue
+{
+    std::vector<std::uint64_t> rem;
 };
 
 /**
@@ -123,6 +139,51 @@ class BchCodec
      */
     std::vector<GfElem> syndromes(const BitVec &codeword) const;
 
+    /** Reset @p state to the empty-prefix residue (all zero). */
+    void residueStart(BchResidue &state) const;
+
+    /**
+     * Absorb the next-lower @p count bytes of the received word
+     * (byte [count-1] is the segment's highest coefficient). Runs the
+     * 64-bit-wide sliced lanes when available (Sliced kernel, r >= 64),
+     * the slicing-by-8 byte step for r >= 8, and the bit-serial
+     * reference LFSR otherwise — all bit-identical by construction.
+     */
+    void residueAbsorbBytes(BchResidue &state, const std::uint8_t *bytes,
+                            std::size_t count) const;
+
+    /**
+     * Absorb the next-lower @p nbits bits of the received word from
+     * packed little-endian words (bit nbits-1 of @p words is the
+     * segment's highest coefficient). Segments need no alignment; a
+     * BitVec's raw() storage can be passed directly.
+     */
+    void residueAbsorbBits(BchResidue &state, const std::uint64_t *words,
+                           std::size_t nbits) const;
+
+    /** True when the absorbed prefix is a codeword (zero remainder). */
+    bool residueIsZero(const BchResidue &state) const;
+
+    /**
+     * Syndromes S_1 .. S_2t evaluated from a fully absorbed residue:
+     * S_j = rem(alpha^j) * alpha^(-rj), an r-bit evaluation instead of
+     * an n-bit one. Bit-identical to syndromes() on the same word.
+     */
+    std::vector<GfElem> syndromesFromResidue(const BchResidue &state) const;
+
+    /**
+     * Decode from a fully absorbed residue without materialising the
+     * codeword: returns the same status/corrections/positions decode()
+     * would, but applies no bit flips (the caller owns the storage).
+     * The Fast path skips the provably zero-discrepancy even-syndrome
+     * BM steps, aborts as soon as the register length exceeds t, and
+     * stops the Chien scan at the nu-th root; Full mirrors decode()
+     * step for step. Both are bit-identical (pinned by tests).
+     */
+    BchDecodeResult
+    solveFromResidue(const BchResidue &state,
+                     ScrubDecodePath path = defaultScrubDecodePath()) const;
+
     /**
      * Lookup-table bytes held by this instance for its current kernel
      * (for footprint reporting; excludes the GF(2^m) log/exp tables).
@@ -151,6 +212,37 @@ class BchCodec
 
     /** One LFSR step: rem <- (rem * x + in * x^r) mod g. */
     void stepBit(std::vector<std::uint64_t> &rem, bool in) const;
+
+    /** One slicing-by-8 step: rem <- (rem * x^8 + byte * x^r) mod g. */
+    void byteStep(std::vector<std::uint64_t> &rem, unsigned in_byte) const;
+
+    /**
+     * Convert the packed remainder to/from the shifted domain of the
+     * wide residue lanes (remainder pre-shifted left by
+     * 64*remWords - r so the 64-bit feedback window is exactly the top
+     * storage word). Applied once per wide run, not per step.
+     */
+    void shiftRemUp(std::vector<std::uint64_t> &rem) const;
+    void shiftRemDown(std::vector<std::uint64_t> &rem) const;
+
+    /**
+     * Berlekamp-Massey: fill @p lambda / @p len from the syndromes and
+     * report whether they describe a correctable pattern (len <= t and
+     * deg(lambda) == len). @p fast skips the even-syndrome steps whose
+     * discrepancy is structurally zero for binary BCH and aborts once
+     * len exceeds t (len never shrinks); both modes are bit-identical.
+     */
+    bool bmLocator(const std::vector<GfElem> &syn, bool fast,
+                   GfPoly &lambda, unsigned &len) const;
+
+    /**
+     * Chien search over the shortened positions [0, n): fill
+     * @p positions with the roots of @p lambda and report whether
+     * exactly @p nu distinct in-range roots exist. @p early_stop ends
+     * the scan at the nu-th root (a degree-nu locator has no more).
+     */
+    bool chienSearch(const GfPoly &lambda, unsigned nu, bool early_stop,
+                     std::vector<std::uint32_t> &positions) const;
 
     /** Build the scalar per-bit syndrome tables (idempotent). */
     void buildScalarTables();
@@ -187,6 +279,17 @@ class BchCodec
      */
     std::vector<std::uint64_t> encTable;
     /**
+     * 64-bit-wide residue lanes for the streaming scrub pass,
+     * flattened 8 x 256 x remWords: lane b entry v holds
+     * ((v(x) * x^(8b) * x^r) mod g) << (64*remWords - r), i.e. the
+     * rows live in a shifted domain where the remainder's 64-bit
+     * feedback window is exactly its top storage word — the wide step
+     * folds eight input bytes with eight table XORs and no cross-word
+     * extraction or masking (see shiftRemUp/shiftRemDown). Built only
+     * when r >= 64 (the feedback chunk must fit in the remainder).
+     */
+    std::vector<std::uint64_t> wideTab;
+    /**
      * Per-byte partial syndromes, flattened t x 256: entry (j, v) is
      * sum over set bits b of v of alpha^((2j+1) * b).
      */
@@ -197,6 +300,11 @@ class BchCodec
     // -- always built (used by decode regardless of kernel) --
     /** chienStride[j] = alpha^(order - j), hoisted out of the search. */
     std::vector<GfElem> chienStride;
+    /**
+     * Residue-to-syndrome fixups: resFix[idx] = alpha^(-r * (2idx+1)),
+     * turning rem(alpha^j) into S_j for odd j (evens are squares).
+     */
+    std::vector<GfElem> resFix;
 };
 
 } // namespace nvck
