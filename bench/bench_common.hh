@@ -11,8 +11,11 @@
 #ifndef NVCK_BENCH_COMMON_HH
 #define NVCK_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/experiment.hh"
 
@@ -59,6 +62,56 @@ benchOccupancyRunControl(double scale = 1.0)
     rc.measure = nsToTicks(150000 * scale);
     rc.samplePeriod = nsToTicks(5000 * scale);
     return rc;
+}
+
+/**
+ * Outcome summary shared by the oracle-checked crash campaigns
+ * (bench_crash_campaign, bench_system_crash): one verdict block and
+ * one machine-readable JSON shape for both, so CI and humans read the
+ * same contract regardless of which campaign tripped.
+ */
+struct CampaignReport
+{
+    std::string name;
+    /** Effective sweep seed — the replay handle for a failure. */
+    std::uint64_t seed = 0;
+    std::uint64_t trials = 0;
+    std::uint64_t violations = 0;
+    /** Additional named tallies, emitted in order. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/** Print the campaign verdict; returns the process exit code. */
+inline int
+campaignVerdict(std::ostream &os, const CampaignReport &report)
+{
+    if (report.violations == 0) {
+        os << "\nOracle held: every block read back as the old value,"
+              " the new value, or a reported UE.\n";
+        return 0;
+    }
+    os << "\nORACLE VIOLATED: " << report.violations
+       << " block(s) read back as silent garbage or rolled back a"
+          " durable write (replay with --seed " << report.seed
+       << ").\n";
+    return 1;
+}
+
+/** Emit the report as a single JSON object. */
+inline void
+campaignJson(std::ostream &os, const CampaignReport &report)
+{
+    os << "{\n"
+       << "  \"campaign\": \"" << report.name << "\",\n"
+       << "  \"seed\": " << report.seed << ",\n"
+       << "  \"trials\": " << report.trials << ",\n"
+       << "  \"violations\": " << report.violations << ",\n"
+       << "  \"counters\": {";
+    for (std::size_t i = 0; i < report.counters.size(); ++i) {
+        os << (i ? "," : "") << "\n    \"" << report.counters[i].first
+           << "\": " << report.counters[i].second;
+    }
+    os << (report.counters.empty() ? "" : "\n  ") << "}\n}\n";
 }
 
 } // namespace nvck

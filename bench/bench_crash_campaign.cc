@@ -13,10 +13,13 @@
  *
  * Exit status is non-zero when the oracle was violated, so CI can run
  * this binary directly; `--seed N` replays a CI failure verbatim.
+ * With NVCK_CAMPAIGN_JSON=<path>, the shared campaign report is also
+ * written there as JSON.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -51,5 +54,21 @@ main(int argc, char **argv)
 
     const CrashCampaignTotals totals =
         crashCampaign(std::cout, opts, cfg);
-    return totals.violations() == 0 ? 0 : 1;
+
+    const CrashTally sum = totals.total();
+    CampaignReport report;
+    report.name = "crash-campaign";
+    report.seed = opts.seedSet ? opts.seed : cfg.seed;
+    report.trials = sum.trials;
+    report.violations = totals.violations();
+    report.counters = {{"torn_old", sum.tornOld},
+                       {"torn_new", sum.tornNew},
+                       {"torn_ue", sum.tornUe},
+                       {"chip_kills", sum.chipKills},
+                       {"collateral_ue", sum.collateralUe}};
+    if (const char *path = std::getenv("NVCK_CAMPAIGN_JSON")) {
+        std::ofstream json(path);
+        campaignJson(json, report);
+    }
+    return campaignVerdict(std::cout, report);
 }

@@ -392,6 +392,55 @@ PmRank::applyTornWrite(unsigned block, const std::uint8_t *new_data,
     poisoned[block] = false;
 }
 
+void
+PmRank::drainCodeBits(unsigned block, const std::uint8_t *settled_data,
+                      std::uint16_t chip_mask)
+{
+    NVCK_ASSERT(block < numBlocks, "block out of range");
+    NVCK_ASSERT(!disabled[block], "drain for a disabled block");
+    const unsigned total_chips = dataChips + 1;
+    const std::uint16_t all =
+        static_cast<std::uint16_t>((1u << total_chips) - 1);
+    chip_mask &= all;
+    NVCK_ASSERT(chip_mask != 0, "drain with no chips");
+
+    // The register holds the coalesced delta between the last fully
+    // drained value and the current write intent (the golden data,
+    // updated at every burst). Chips never see absolute values — only
+    // the linear delta f(settled ^ intent) reaches the code array.
+    std::uint8_t delta[9 * chipBeatBytes];
+    for (unsigned c = 0; c < dataChips; ++c) {
+        const std::uint8_t *intent = goldenBeat(c, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            delta[c * chipBeatBytes + b] =
+                intent[b] ^ settled_data[c * chipBeatBytes + b];
+    }
+    std::vector<GfElem> delta_syms(rsCodec.k());
+    for (unsigned i = 0; i < rsCodec.k(); ++i)
+        delta_syms[i] = delta[i];
+    const auto delta_cw = rsCodec.encode(delta_syms);
+    for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+        delta[dataChips * chipBeatBytes + b] =
+            static_cast<std::uint8_t>(delta_cw[b]);
+
+    const unsigned vlew = block / blocksPerVlew;
+    const unsigned offset_bytes =
+        (block % blocksPerVlew) * chipBeatBytes;
+    for (unsigned chip = 0; chip < total_chips; ++chip) {
+        if (!(chip_mask & (1u << chip)))
+            continue;
+        const std::uint8_t *d8 = &delta[chip * chipBeatBytes];
+        bool nonzero = false;
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            nonzero = nonzero || d8[b] != 0;
+        if (!nonzero)
+            continue;
+        BitVec delta_word(vlewCodec.k());
+        delta_word.setBytes(offset_bytes * 8, d8, chipBeatBytes);
+        codeStore[chip][vlew] ^= vlewCodec.encodeDelta(delta_word);
+    }
+}
+
 int
 PmRank::correctVlew(unsigned chip, unsigned vlew)
 {

@@ -162,6 +162,25 @@ class PmRank
                         std::uint16_t code_mask);
 
     /**
+     * Retire the coalesced EUR code-bit delta for @p block: bring the
+     * media code bits of the chips in @p chip_mask from the state
+     * described by @p settled_data (the last value whose code fully
+     * drained — the pre-write image for a first write) up to the
+     * current write intent. This is the second half of the two-phase
+     * write the timing layer performs: data bursts land at burst time
+     * (applyTornWrite with an empty code mask), code deltas drain at
+     * row close — possibly much later, possibly covering several
+     * coalesced bursts in one register, and possibly torn per chip by
+     * a power cut mid-drain (@p chip_mask a strict subset).
+     *
+     * The golden code is not touched: it has tracked the full write
+     * intent since burst time. Draining every chip makes the block's
+     * media code consistent with its (new) data again.
+     */
+    void drainCodeBits(unsigned block, const std::uint8_t *settled_data,
+                       std::uint16_t chip_mask = 0xffff);
+
+    /**
      * Runtime read with opportunistic RS correction and VLEW fallback.
      * @param out receives the corrected 64B.
      * @param threshold max accepted RS corrections (2 in the paper).

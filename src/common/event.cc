@@ -15,7 +15,8 @@ EventQueue::schedule(Tick when, std::function<void()> action)
 void
 EventQueue::run()
 {
-    while (!events.empty()) {
+    halted = false;
+    while (!events.empty() && !halted) {
         // priority_queue::top returns const ref; move the action out via
         // a copy of the entry before popping.
         Entry entry = events.top();
@@ -28,13 +29,16 @@ EventQueue::run()
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!events.empty() && events.top().when <= limit) {
+    halted = false;
+    while (!events.empty() && !halted && events.top().when <= limit) {
         Entry entry = events.top();
         events.pop();
         currentTick = entry.when;
         entry.action();
     }
-    if (currentTick < limit)
+    // A halted run stops at the cutting event's timestamp; advancing
+    // to the limit would skip time the dead machine never lived.
+    if (!halted && currentTick < limit)
         currentTick = limit;
 }
 

@@ -51,6 +51,17 @@ class EventQueue
      */
     void runUntil(Tick limit);
 
+    /**
+     * Stop the current run()/runUntil() after the executing event
+     * returns, leaving the remaining events queued and now() at the
+     * halting event's timestamp. Used by crash injectors that cut
+     * power from inside an event (a CrashHooks callback): the machine
+     * dies mid-event, but the queue survives so the same system can be
+     * driven again as the rebooted machine. A later run()/runUntil()
+     * clears the flag and resumes normally.
+     */
+    void halt() { halted = true; }
+
   private:
     struct Entry
     {
@@ -72,6 +83,7 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> events;
     Tick currentTick = 0;
     std::uint64_t nextSeq = 0;
+    bool halted = false;
 };
 
 } // namespace nvck

@@ -368,6 +368,17 @@ MemController::setCrashHooks(CrashHooks hooks)
     crashHooks = std::move(hooks);
 }
 
+std::vector<Addr>
+MemController::queuedPmWrites() const
+{
+    std::vector<Addr> addrs;
+    for (const Queued &q : writeQueue) {
+        if (q.req.isPm)
+            addrs.push_back(q.req.addr);
+    }
+    return addrs;
+}
+
 PowerCutReport
 MemController::powerCut()
 {

@@ -162,6 +162,16 @@ class MemController
     /** EUR state, for crash injectors sampling pending registers. */
     const EurModel &eurState() const { return eur; }
 
+    /**
+     * Block addresses of the PM writes currently queued, in queue
+     * order. These are exactly the writes the ADR domain's stored
+     * energy would flush at a power cut; crash injectors capture the
+     * set at the cut instant to apply their data bursts to the media
+     * model (the flushed writes' code-bit deltas still die with the
+     * EUR).
+     */
+    std::vector<Addr> queuedPmWrites() const;
+
   private:
     struct Queued
     {

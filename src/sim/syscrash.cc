@@ -1,0 +1,691 @@
+#include "syscrash.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "common/table.hh"
+
+namespace nvck {
+
+const char *
+cutSiteName(CutSite site)
+{
+    switch (site) {
+      case CutSite::RandomTick:
+        return "random-tick";
+      case CutSite::AtPmWrite:
+        return "at-pm-write";
+      case CutSite::AtRowClose:
+        return "at-row-close";
+      case CutSite::AtEurDrain:
+        return "at-eur-drain";
+    }
+    return "?";
+}
+
+// PersistOracle -------------------------------------------------------
+
+PersistOracle::PersistOracle(unsigned blocks)
+    : settledVal(blocks), chains(blocks)
+{
+}
+
+void
+PersistOracle::setBaseline(unsigned block, const std::uint8_t *value)
+{
+    std::memcpy(settledVal[block].data(), value, blockBytes);
+    chains[block].clear();
+}
+
+void
+PersistOracle::recordBurst(unsigned block, const std::uint8_t *value)
+{
+    Value v;
+    std::memcpy(v.data(), value, blockBytes);
+    chains[block].push_back(v);
+}
+
+void
+PersistOracle::recordDrain(unsigned block)
+{
+    NVCK_ASSERT(!chains[block].empty(), "drain with no pending burst");
+    settledVal[block] = chains[block].back();
+    chains[block].clear();
+}
+
+unsigned
+PersistOracle::pendingCount() const
+{
+    unsigned n = 0;
+    for (const auto &c : chains)
+        n += !c.empty();
+    return n;
+}
+
+const PersistOracle::Value &
+PersistOracle::latest(unsigned block) const
+{
+    if (!chains[block].empty())
+        return chains[block].back();
+    return settledVal[block];
+}
+
+PersistOracle::Verdict
+PersistOracle::classify(unsigned block, const std::uint8_t *readback,
+                        bool reported_ue) const
+{
+    if (reported_ue)
+        return Verdict::ReportedUe;
+    const auto &chain = chains[block];
+    if (chain.empty()) {
+        // Settled block: an accepted-and-drained write is inside the
+        // persistence domain; anything but its exact value is a loss.
+        return std::memcmp(readback, settledVal[block].data(),
+                           blockBytes) == 0
+                   ? Verdict::SettledOk
+                   : Verdict::Violation;
+    }
+    if (std::memcmp(readback, chain.back().data(), blockBytes) == 0)
+        return Verdict::TornNew;
+    if (std::memcmp(readback, settledVal[block].data(), blockBytes) == 0)
+        return Verdict::TornOld;
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        if (std::memcmp(readback, chain[i].data(), blockBytes) == 0)
+            return Verdict::TornIntermediate;
+    }
+    return Verdict::Violation;
+}
+
+// CampaignWorkload ----------------------------------------------------
+
+CampaignWorkload::CampaignWorkload(const AddressSpace &space,
+                                   unsigned cores, std::uint64_t seed)
+{
+    NVCK_ASSERT(cores > 0, "workload needs a core");
+    const std::uint64_t pm_blocks = space.pmBytes / blockBytes;
+    const std::uint64_t dram_blocks = space.dramBytes / blockBytes;
+    NVCK_ASSERT(pm_blocks >= cores && dram_blocks >= cores,
+                "address space too small to strip per core");
+    const Rng base(seed);
+    coreStates.resize(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        CoreState &cs = coreStates[c];
+        cs.rng = base.substream(c);
+        cs.stripBlocks = pm_blocks / cores;
+        cs.stripBase = space.pmBase +
+                       static_cast<Addr>(c) * cs.stripBlocks * blockBytes;
+        cs.dramBlocks = dram_blocks / cores;
+        cs.dramBase = space.dramBase +
+                      static_cast<Addr>(c) * cs.dramBlocks * blockBytes;
+        cs.logCursor = cs.rng.below(cs.stripBlocks);
+        for (unsigned h = 0; h < 4; ++h)
+            cs.hot.push_back(cs.stripBase +
+                             cs.rng.below(cs.stripBlocks) * blockBytes);
+    }
+}
+
+void
+CampaignWorkload::refill(CoreState &cs)
+{
+    auto push = [&cs](TraceOp::Kind kind, Addr addr, bool is_pm,
+                      unsigned gap) {
+        TraceOp op;
+        op.kind = kind;
+        op.addr = addr;
+        op.isPm = is_pm;
+        op.gap = gap;
+        cs.ops.push_back(op);
+    };
+    const auto gap = [&cs] {
+        return static_cast<unsigned>(cs.rng.below(24));
+    };
+
+    const std::uint64_t pick = cs.rng.below(100);
+    if (pick < 55) {
+        // Sequential log append: store + clwb per block, one fence
+        // per group (the WHISPER-style persist shape).
+        const unsigned group = 1 + static_cast<unsigned>(cs.rng.below(4));
+        for (unsigned i = 0; i < group; ++i) {
+            const Addr a = cs.stripBase +
+                           (cs.logCursor % cs.stripBlocks) * blockBytes;
+            ++cs.logCursor;
+            push(TraceOp::Kind::Store, a, true, gap());
+            push(TraceOp::Kind::Clean, a, true, 1);
+        }
+        TraceOp fence;
+        fence.kind = TraceOp::Kind::Fence;
+        fence.gap = 1;
+        cs.ops.push_back(fence);
+    } else if (pick < 70) {
+        // Hot-block rewrite: repeated persists to the same block
+        // exercise EUR coalescing and write-queue merging.
+        const Addr a = cs.hot[cs.rng.below(cs.hot.size())];
+        push(TraceOp::Kind::Store, a, true, gap());
+        push(TraceOp::Kind::Clean, a, true, 1);
+        TraceOp fence;
+        fence.kind = TraceOp::Kind::Fence;
+        fence.gap = 1;
+        cs.ops.push_back(fence);
+    } else if (pick < 82) {
+        const unsigned n = 2 + static_cast<unsigned>(cs.rng.below(3));
+        for (unsigned i = 0; i < n; ++i) {
+            const Addr a = cs.stripBase +
+                           cs.rng.below(cs.stripBlocks) * blockBytes;
+            push(TraceOp::Kind::Load, a, true, gap());
+        }
+    } else if (pick < 94) {
+        const unsigned n = 2 + static_cast<unsigned>(cs.rng.below(3));
+        for (unsigned i = 0; i < n; ++i) {
+            const Addr a = cs.dramBase +
+                           cs.rng.below(cs.dramBlocks) * blockBytes;
+            push(cs.rng.chance(0.5) ? TraceOp::Kind::Store
+                                    : TraceOp::Kind::Load,
+                 a, false, gap());
+        }
+    } else {
+        // Off-CPU span past the 50ns row-idle threshold so the lazy
+        // close policy drains open rows.
+        TraceOp idle;
+        idle.kind = TraceOp::Kind::Idle;
+        idle.idleNs = 60.0 + cs.rng.uniform() * 90.0;
+        cs.ops.push_back(idle);
+    }
+}
+
+TraceOp
+CampaignWorkload::next(unsigned core)
+{
+    CoreState &cs = coreStates.at(core);
+    while (cs.ops.empty())
+        refill(cs);
+    const TraceOp op = cs.ops.front();
+    cs.ops.pop_front();
+    return op;
+}
+
+// SysCrashMirror ------------------------------------------------------
+
+namespace {
+
+/** Random chip subset; see CrashInjector for the fix-up rationale. */
+std::uint16_t
+randomChipMask(Rng &rng, unsigned chips, bool forbid_empty,
+               bool forbid_full)
+{
+    const std::uint16_t full =
+        static_cast<std::uint16_t>((1u << chips) - 1);
+    std::uint16_t mask = 0;
+    for (unsigned c = 0; c < chips; ++c) {
+        if (rng.chance(0.5))
+            mask |= static_cast<std::uint16_t>(1u << c);
+    }
+    if (forbid_empty && mask == 0)
+        mask = static_cast<std::uint16_t>(1u << rng.below(chips));
+    if (forbid_full && mask == full)
+        mask &= static_cast<std::uint16_t>(~(1u << rng.below(chips)));
+    return mask;
+}
+
+/**
+ * Intended new 64B payload for a burst: a dense rewrite or a sparse
+ * 1-3 bit update (the shape a VLEW rollback can undo); always differs
+ * from @p old_data.
+ */
+void
+makePayload(Rng &rng, const std::uint8_t *old_data, std::uint8_t *out)
+{
+    if (rng.chance(0.5)) {
+        for (unsigned i = 0; i < blockBytes; i += 8) {
+            const std::uint64_t word = rng.next();
+            std::memcpy(out + i, &word, 8);
+        }
+    } else {
+        std::memcpy(out, old_data, blockBytes);
+        const unsigned flips = 1 + static_cast<unsigned>(rng.below(3));
+        for (unsigned f = 0; f < flips; ++f) {
+            const unsigned byte =
+                static_cast<unsigned>(rng.below(blockBytes));
+            out[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+    }
+    if (std::memcmp(out, old_data, blockBytes) == 0)
+        out[0] ^= 1u;
+}
+
+} // namespace
+
+SysCrashMirror::SysCrashMirror(System &s, PmRank &r, PersistOracle &o,
+                               CutSite st, std::uint64_t occ,
+                               std::uint64_t value_seed)
+    : sys(s), rank(r), oracle(o), site(st), occurrence(occ),
+      rng(value_seed)
+{
+    const MemControllerConfig &mc = sys.config().mem;
+    NVCK_ASSERT(mc.eurEnabled, "campaign needs the EUR write path");
+    const unsigned banks = mc.pm.banks;
+    const unsigned slots =
+        mc.pm.rowBytes / (mc.dataChips * mc.vlewDataBytes);
+    NVCK_ASSERT(banks > 0 && slots > 0, "degenerate PM geometry");
+    pendingSlots.assign(
+        banks, std::vector<std::vector<unsigned>>(slots));
+    pendingChunk.assign(banks, std::vector<std::int64_t>(slots, -1));
+
+    CrashHooks hooks;
+    hooks.onPmWrite = [this](Addr a, unsigned bank, unsigned slot) {
+        onPmWrite(a, bank, slot);
+    };
+    hooks.onEurDrain = [this](unsigned bank, unsigned slot) {
+        onEurDrain(bank, slot);
+    };
+    hooks.onRowClose = [this](unsigned bank) { onRowClose(bank); };
+    sys.memory().setCrashHooks(std::move(hooks));
+}
+
+unsigned
+SysCrashMirror::blockOf(Addr addr) const
+{
+    const AddressSpace &space = sys.config().space;
+    NVCK_ASSERT(addr >= space.pmBase, "PM write below the PM region");
+    const std::uint64_t block = (addr - space.pmBase) / blockBytes;
+    NVCK_ASSERT(block < rank.blocks(),
+                "PM write beyond the mirrored rank");
+    return static_cast<unsigned>(block);
+}
+
+std::uint16_t
+SysCrashMirror::partialChipMask()
+{
+    return randomChipMask(rng, rank.chips(), true, true);
+}
+
+void
+SysCrashMirror::burst(unsigned block, std::uint16_t data_mask)
+{
+    // The controller XORs against the OMV — the latest write intent —
+    // so the new payload chains off the latest pending value.
+    std::uint8_t value[blockBytes];
+    makePayload(rng, oracle.latest(block).data(), value);
+    rank.applyTornWrite(block, value, data_mask, 0);
+    oracle.recordBurst(block, value);
+}
+
+void
+SysCrashMirror::onPmWrite(Addr addr, unsigned bank, unsigned slot)
+{
+    if (cut)
+        return;
+    ++burstCount;
+    const unsigned block = blockOf(addr);
+    const bool tearing =
+        site == CutSite::AtPmWrite && burstCount == occurrence;
+    const std::uint16_t full =
+        static_cast<std::uint16_t>((1u << rank.chips()) - 1);
+    burst(block, tearing ? partialChipMask() : full);
+
+    auto &pending = pendingSlots.at(bank).at(slot);
+    const MemControllerConfig &mc = sys.config().mem;
+    const std::int64_t chunk =
+        block / (mc.vlewDataBytes / chipBeatBytes);
+    if (pending.empty())
+        pendingChunk[bank][slot] = chunk;
+    else
+        // Open-row exclusivity: one register coalesces one VLEW chunk
+        // at a time; a conflicting chunk must have drained at the row
+        // switch before this burst.
+        NVCK_ASSERT(pendingChunk[bank][slot] == chunk,
+                    "EUR register coalescing across chunks");
+    if (std::find(pending.begin(), pending.end(), block) ==
+        pending.end())
+        pending.push_back(block);
+
+    if (tearing) {
+        trig = true;
+        cutNow();
+    }
+}
+
+void
+SysCrashMirror::onEurDrain(unsigned bank, unsigned slot)
+{
+    if (cut)
+        return;
+    ++drainCount;
+    auto &pending = pendingSlots.at(bank).at(slot);
+    NVCK_ASSERT(!pending.empty(),
+                "EUR drain for a register with no mirrored bursts");
+    if (site == CutSite::AtEurDrain && drainCount == occurrence) {
+        // Torn mid-drain: a strict chip subset retired the register's
+        // coalesced code delta before the cut. The blocks stay pending
+        // — recovery decides old/new/UE.
+        const std::uint16_t mask = partialChipMask();
+        for (unsigned b : pending)
+            rank.drainCodeBits(b, oracle.settled(b).data(), mask);
+        trig = true;
+        cutNow();
+        return;
+    }
+    for (unsigned b : pending) {
+        rank.drainCodeBits(b, oracle.settled(b).data());
+        oracle.recordDrain(b);
+    }
+    pending.clear();
+    pendingChunk[bank][slot] = -1;
+}
+
+void
+SysCrashMirror::onRowClose(unsigned bank)
+{
+    if (cut)
+        return;
+    (void)bank;
+    ++rowCloseCount;
+    if (site == CutSite::AtRowClose && rowCloseCount == occurrence) {
+        // Cut before any register retires: the whole row's EUR state
+        // dies; the subsequent onEurDrain calls see the frozen mirror.
+        trig = true;
+        cutNow();
+    }
+}
+
+void
+SysCrashMirror::cutNow()
+{
+    if (cut)
+        return;
+    cut = true;
+    // ADR stored energy flushes the queued PM writes' data bursts in
+    // full; their code deltas die in the EUR like everyone else's.
+    const std::uint16_t full =
+        static_cast<std::uint16_t>((1u << rank.chips()) - 1);
+    for (Addr a : sys.memory().queuedPmWrites()) {
+        ++flushCount;
+        burst(blockOf(a), full);
+    }
+    sys.requestHalt();
+}
+
+// Trial ---------------------------------------------------------------
+
+SysCrashTally &
+SysCrashTally::operator+=(const SysCrashTally &other)
+{
+    trials += other.trials;
+    cutsAtSite += other.cutsAtSite;
+    bursts += other.bursts;
+    drains += other.drains;
+    flushedAtCut += other.flushedAtCut;
+    pendingAtCut += other.pendingAtCut;
+    tornOld += other.tornOld;
+    tornNew += other.tornNew;
+    tornIntermediate += other.tornIntermediate;
+    tornUe += other.tornUe;
+    collateralUe += other.collateralUe;
+    chipKills += other.chipKills;
+    staleAcksAbsorbed += other.staleAcksAbsorbed;
+    violations += other.violations;
+    return *this;
+}
+
+namespace {
+
+std::uint64_t
+occurrenceFor(CutSite site, Rng &rng)
+{
+    switch (site) {
+      case CutSite::RandomTick:
+        return 0;
+      case CutSite::AtPmWrite:
+        return 1 + rng.below(48);
+      case CutSite::AtRowClose:
+        return 1 + rng.below(6);
+      case CutSite::AtEurDrain:
+        return 1 + rng.below(12);
+    }
+    return 0;
+}
+
+} // namespace
+
+SysCrashTally
+runSysCrashTrial(const SysCrashTrialConfig &tc, Rng &rng)
+{
+    NVCK_ASSERT(tc.rankBlocks >= 32 && tc.rankBlocks % 32 == 0,
+                "rank must hold whole VLEW spans");
+    SysCrashTally tally;
+    tally.trials = 1;
+
+    SystemConfig cfg = SystemConfig::make(
+        tc.tech, proposalScheme(runtimeRberFor(tc.tech)), "echo",
+        rng.next() | 1);
+    cfg.cores = tc.cores;
+    cfg.cache.cores = tc.cores;
+    cfg.cache.l1Bytes = 8 * 1024;
+    cfg.cache.llcBytes = 64 * 1024;
+    cfg.cache.llcWays = 8;
+    // Few banks keep the whole rank mirrorable at 2 rows per bank so
+    // row conflicts (and therefore EUR drains) happen within a short
+    // horizon; aggressive drain thresholds keep bursts flowing.
+    cfg.mem.dram.banks = tc.banks;
+    cfg.mem.pm.banks = tc.banks;
+    cfg.mem.writeMaxAge = nsToTicks(400);
+    cfg.mem.writeIdleBurst = 4;
+    cfg.mem.writeDrainHigh = 24;
+    cfg.mem.writeDrainLow = 8;
+    cfg.space.pmBase = 0;
+    cfg.space.pmBytes =
+        static_cast<std::uint64_t>(tc.rankBlocks) * blockBytes;
+    cfg.space.dramBytes = 1u << 20;
+
+    System sys(cfg, std::make_unique<CampaignWorkload>(
+                        cfg.space, tc.cores, rng.next()));
+
+    PmRank rank(tc.rankBlocks);
+    rank.initialize(rng);
+    PersistOracle oracle(tc.rankBlocks);
+    {
+        std::uint8_t buf[blockBytes];
+        for (unsigned b = 0; b < tc.rankBlocks; ++b) {
+            rank.goldenBlock(b, buf);
+            oracle.setBaseline(b, buf);
+        }
+    }
+
+    SysCrashMirror mirror(sys, rank, oracle, tc.site,
+                          occurrenceFor(tc.site, rng), rng.next());
+
+    sys.start();
+    if (tc.site == CutSite::RandomTick) {
+        const Tick cut_at =
+            tc.horizon / 4 + rng.below(tc.horizon - tc.horizon / 4);
+        sys.runUntil(cut_at);
+    } else {
+        sys.runUntil(tc.horizon);
+    }
+
+    // A hook cut halted the loop mid-event; otherwise we reached the
+    // tick (or horizon fallback) with the machine still alive and cut
+    // between events.
+    const bool between_events = !mirror.cutDone();
+    if (between_events)
+        mirror.cutNow();
+    else
+        tally.cutsAtSite = 1;
+
+    const std::uint64_t flushed = mirror.flushedAtCut();
+    const PowerFailReport pf = sys.powerFail();
+    if (between_events) {
+        // No events ran between the mirror's queue capture and the
+        // real cut: the controller's ADR flush must match it exactly.
+        // (After a mid-event hook cut the in-flight schedule pass may
+        // still issue captured writes before the halt lands — same
+        // media outcome, smaller queue.)
+        NVCK_ASSERT(pf.controller.pmWritesFlushed == flushed,
+                    "ADR flush diverged from the mirrored queue");
+    }
+
+    if (rng.chance(tc.chipKillFraction)) {
+        rank.failChip(static_cast<unsigned>(rng.below(rank.chips())),
+                      rng);
+        tally.chipKills = 1;
+    }
+
+    rank.crashRecovery(tc.threshold);
+
+    tally.bursts = mirror.bursts();
+    tally.drains = mirror.drains();
+    tally.flushedAtCut = flushed;
+    tally.pendingAtCut = oracle.pendingCount();
+
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < tc.rankBlocks; ++b) {
+        const auto read = rank.readBlock(b, out, tc.threshold);
+        switch (oracle.classify(b, out,
+                                read.path == ReadPath::Failed)) {
+          case PersistOracle::Verdict::SettledOk:
+            break;
+          case PersistOracle::Verdict::TornOld:
+            ++tally.tornOld;
+            break;
+          case PersistOracle::Verdict::TornNew:
+            ++tally.tornNew;
+            break;
+          case PersistOracle::Verdict::TornIntermediate:
+            ++tally.tornIntermediate;
+            break;
+          case PersistOracle::Verdict::ReportedUe:
+            if (oracle.pending(b))
+                ++tally.tornUe;
+            else
+                ++tally.collateralUe;
+            break;
+          case PersistOracle::Verdict::Violation:
+            ++tally.violations;
+            break;
+        }
+    }
+
+    if (tc.rebootDrive) {
+        // Drive the rebooted machine: stranded request chains complete
+        // against the revived controller and their orphaned persist
+        // acks must be absorbed (never underflow) by the stale-ack
+        // ledger. The mirror stays frozen — the media image and its
+        // classification above are final.
+        const std::size_t stale0 = sys.pendingStaleAcks();
+        NVCK_ASSERT(stale0 == pf.persistsInFlight,
+                    "stale-ack ledger out of step with the cut report");
+        sys.runUntil(sys.now() + tc.horizon / 4);
+        const std::size_t stale1 = sys.pendingStaleAcks();
+        NVCK_ASSERT(stale1 <= stale0, "stale acks grew after reboot");
+        tally.staleAcksAbsorbed = stale0 - stale1;
+    }
+    return tally;
+}
+
+// Campaign ------------------------------------------------------------
+
+SysCrashTally
+SysCrashTotals::total() const
+{
+    SysCrashTally sum;
+    for (const auto &tech : cells) {
+        for (const auto &cell : tech)
+            sum += cell;
+    }
+    return sum;
+}
+
+namespace {
+
+/** One sweep point's result: which campaign cell it feeds. */
+struct CellResult
+{
+    unsigned tech = 0;
+    unsigned site = 0;
+    SysCrashTally tally;
+};
+
+void
+tallyRow(Table &t, const std::string &label, const SysCrashTally &c)
+{
+    t.row()
+        .cell(label)
+        .cell(c.trials)
+        .cell(c.cutsAtSite)
+        .cell(c.bursts)
+        .cell(c.drains)
+        .cell(c.flushedAtCut)
+        .cell(c.pendingAtCut)
+        .cell(c.tornOld)
+        .cell(c.tornNew)
+        .cell(c.tornIntermediate)
+        .cell(c.tornUe)
+        .cell(c.collateralUe)
+        .cell(c.chipKills)
+        .cell(c.staleAcksAbsorbed)
+        .cell(c.violations);
+}
+
+} // namespace
+
+SysCrashTotals
+systemCrashCampaign(std::ostream &os, const SweepOptions &opts,
+                    const SysCrashCampaignConfig &cfg)
+{
+    NVCK_ASSERT(cfg.chunkTrials > 0, "empty campaign chunks");
+    static const PmTech techs[numSysCrashTechs] = {PmTech::Reram,
+                                                   PmTech::Pcm};
+    ParallelSweep<CellResult> sweep(cfg.seed, opts);
+
+    const unsigned cells = numSysCrashTechs * numCutSites;
+    unsigned cell = 0;
+    for (unsigned ti = 0; ti < numSysCrashTechs; ++ti) {
+        for (unsigned si = 0; si < numCutSites; ++si, ++cell) {
+            std::uint64_t remaining =
+                cfg.trials / cells +
+                (cell < cfg.trials % cells ? 1 : 0);
+            for (unsigned chunk = 0; remaining > 0; ++chunk) {
+                const auto batch =
+                    std::min<std::uint64_t>(remaining, cfg.chunkTrials);
+                remaining -= batch;
+                sweep.add(
+                    pmTechName(techs[ti]) + "/" +
+                        cutSiteName(static_cast<CutSite>(si)) + " #" +
+                        std::to_string(chunk),
+                    [&cfg, ti, si, batch](Rng &rng) {
+                        SysCrashTrialConfig tc = cfg.trial;
+                        tc.tech = techs[ti];
+                        tc.site = static_cast<CutSite>(si);
+                        CellResult r;
+                        r.tech = ti;
+                        r.site = si;
+                        for (std::uint64_t t = 0; t < batch; ++t)
+                            r.tally += runSysCrashTrial(tc, rng);
+                        return r;
+                    });
+            }
+        }
+    }
+
+    SysCrashTotals totals{};
+    for (const auto &out : sweep.run())
+        totals.cells[out.value.tech][out.value.site] += out.value.tally;
+
+    Table t({"cut site", "trials", "@site", "bursts", "drains",
+             "flushed", "pending", "-> old", "-> new", "-> mid",
+             "-> UE", "collateral", "kills", "stale acks",
+             "violations"});
+    for (unsigned ti = 0; ti < numSysCrashTechs; ++ti) {
+        for (unsigned si = 0; si < numCutSites; ++si)
+            tallyRow(t,
+                     pmTechName(techs[ti]) + "/" +
+                         cutSiteName(static_cast<CutSite>(si)),
+                     totals.cells[ti][si]);
+    }
+    tallyRow(t, "total", totals.total());
+    t.print(os);
+    return totals;
+}
+
+} // namespace nvck

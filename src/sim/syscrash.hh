@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Whole-system power-failure campaign: drives a synthetic persistent
+ * workload through the full timing stack (cores -> cache hierarchy ->
+ * memory controller -> EUR), mirrors every PM data burst and EUR drain
+ * onto a bit-accurate PmRank, cuts power either at a random tick or at
+ * an armed CrashHooks site (System::powerFail() is the real cut path),
+ * runs PmRank::crashRecovery(), and checks every block against a
+ * persist-order oracle.
+ *
+ * The oracle encodes the ADR contract the timing layer implements:
+ *
+ *  - a write whose coalesced code-bit delta fully drained from the EUR
+ *    ("settled") is crash-durable and must read back as exactly its
+ *    value — never roll back;
+ *  - a write whose data burst landed (or was flushed from the write
+ *    queue by the ADR domain's stored energy) but whose code delta was
+ *    still EUR-held may resolve to the last settled value, any
+ *    still-pending bursted value, or an explicitly reported UE;
+ *  - nothing may ever read back as silent garbage.
+ *
+ * PR 5's CrashInjector proves the same invariant for synthetic torn
+ * writes on a pristine rank; this campaign produces the torn media
+ * state from the timing pipeline itself mid-workload, so every future
+ * controller or scheduling change is exercised against the invariant.
+ */
+
+#ifndef NVCK_SIM_SYSCRASH_HH
+#define NVCK_SIM_SYSCRASH_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <vector>
+
+#include "chipkill/pm_rank.hh"
+#include "common/rng.hh"
+#include "sim/configs.hh"
+#include "sim/parallel.hh"
+#include "sim/system.hh"
+#include "workload/workload.hh"
+
+namespace nvck {
+
+/** Where the campaign cuts power. */
+enum class CutSite
+{
+    /** Between events at a uniformly random simulated tick. */
+    RandomTick,
+    /** At the n-th PM data burst (onPmWrite), torn mid-burst: only a
+     *  random subset of chips latched the XOR delta. */
+    AtPmWrite,
+    /** At the n-th row-close drain start (onRowClose): every register
+     *  of the closing row dies before any code delta retires. */
+    AtRowClose,
+    /** At the n-th EUR register retirement (onEurDrain), torn per
+     *  chip: a random subset of chips applied the code delta. */
+    AtEurDrain,
+};
+
+constexpr unsigned numCutSites = 4;
+
+/** Stable label for tables, --filter selection, and logs. */
+const char *cutSiteName(CutSite site);
+
+/**
+ * Per-block persist-order bookkeeping. The timing mirror records
+ * every data burst (a value whose code delta is now EUR-held) and
+ * every completed drain (the value settles); after recovery, classify()
+ * says whether a block's readback is one the ADR contract permits.
+ */
+class PersistOracle
+{
+  public:
+    using Value = std::array<std::uint8_t, blockBytes>;
+
+    /** What a post-recovery readback means for one block. */
+    enum class Verdict
+    {
+        SettledOk,        //!< no pending write; exact settled value
+        TornOld,          //!< pending write resolved to the settled value
+        TornNew,          //!< pending write rolled forward to the latest
+        TornIntermediate, //!< an earlier still-pending bursted value
+        ReportedUe,       //!< explicit, reported UE (always legal)
+        Violation,        //!< silent garbage or a settled write rolled back
+    };
+
+    explicit PersistOracle(unsigned blocks);
+
+    /** Set the pristine (settled) image of @p block. */
+    void setBaseline(unsigned block, const std::uint8_t *value);
+
+    /** A data burst landed: @p value is now pending (code EUR-held). */
+    void recordBurst(unsigned block, const std::uint8_t *value);
+
+    /** The block's coalesced code delta fully drained: the latest
+     *  bursted value settles and the pending chain resets. */
+    void recordDrain(unsigned block);
+
+    /** True while the block has bursted-but-undrained values. */
+    bool pending(unsigned block) const
+    {
+        return !chains[block].empty();
+    }
+
+    /** Blocks currently pending. */
+    unsigned pendingCount() const;
+
+    const Value &settled(unsigned block) const
+    {
+        return settledVal[block];
+    }
+
+    /** Latest bursted value (the settled value when not pending). */
+    const Value &latest(unsigned block) const;
+
+    Verdict classify(unsigned block, const std::uint8_t *readback,
+                     bool reported_ue) const;
+
+  private:
+    std::vector<Value> settledVal;
+    /** Values bursted since the last settle, oldest first. */
+    std::vector<std::vector<Value>> chains;
+};
+
+/**
+ * Compact persistent-memory workload for the campaign: each core owns
+ * a strip of the (small) PM space and interleaves sequential log
+ * appends (store + clwb per block, fence per group), hot-block
+ * rewrites, PM/DRAM loads, DRAM stores, and short idle spans that let
+ * the row-idle close policy trigger EUR drains. Unlike the stock
+ * SyntheticWorkload profiles (which assert multi-MB per-core log
+ * regions), this generator runs in a PM space sized exactly to the
+ * mirrored rank.
+ */
+class CampaignWorkload : public Workload
+{
+  public:
+    CampaignWorkload(const AddressSpace &space, unsigned cores,
+                     std::uint64_t seed);
+
+    std::string name() const override { return "syscrash"; }
+    TraceOp next(unsigned core) override;
+    unsigned mlp() const override { return 4; }
+
+  private:
+    struct CoreState
+    {
+        Rng rng{1};
+        std::deque<TraceOp> ops;
+        Addr stripBase = 0;
+        std::uint64_t stripBlocks = 0;
+        std::uint64_t logCursor = 0;
+        Addr dramBase = 0;
+        std::uint64_t dramBlocks = 0;
+        std::vector<Addr> hot;
+    };
+
+    void refill(CoreState &cs);
+
+    std::vector<CoreState> coreStates;
+};
+
+/**
+ * The timing<->bit-level bridge. Installs CrashHooks on the system's
+ * controller and mirrors the PM write path onto @p rank:
+ *
+ *  - onPmWrite: generate the write's 64B value deterministically,
+ *    apply the data burst (applyTornWrite with no code drain), record
+ *    the burst in the oracle, and remember the block under its
+ *    (bank, EUR slot) register;
+ *  - onEurDrain: retire the register's coalesced code delta for every
+ *    pending block of that slot (PmRank::drainCodeBits) and settle
+ *    them in the oracle;
+ *  - onRowClose / burst / drain occurrence counters arm the cut: at
+ *    the chosen occurrence the mirror freezes (the media sees nothing
+ *    past the cut), captures the controller's queued PM writes as the
+ *    ADR flush set (their data lands, their code deltas die), and
+ *    halts the event loop so no simulated time passes before
+ *    System::powerFail().
+ */
+class SysCrashMirror
+{
+  public:
+    /**
+     * @param occurrence 1-based count of the armed site's events at
+     *        which the cut fires (ignored for RandomTick).
+     * @param value_seed substream for the generated write payloads.
+     */
+    SysCrashMirror(System &sys, PmRank &rank, PersistOracle &oracle,
+                   CutSite site, std::uint64_t occurrence,
+                   std::uint64_t value_seed);
+
+    /** True once the cut happened (armed site or cutNow()). */
+    bool cutDone() const { return cut; }
+
+    /** True when the cut fired at the armed hook site. */
+    bool triggered() const { return trig; }
+
+    /**
+     * Cut power now: freeze the mirror, apply the ADR flush of the
+     * controller's queued PM writes, and halt the event loop. Used
+     * directly for RandomTick cuts and as the horizon fallback when
+     * the armed site never reached its occurrence.
+     */
+    void cutNow();
+
+    std::uint64_t bursts() const { return burstCount; }
+    std::uint64_t drains() const { return drainCount; }
+    std::uint64_t rowCloses() const { return rowCloseCount; }
+    std::uint64_t flushedAtCut() const { return flushCount; }
+
+  private:
+    void onPmWrite(Addr addr, unsigned bank, unsigned slot);
+    void onEurDrain(unsigned bank, unsigned slot);
+    void onRowClose(unsigned bank);
+
+    unsigned blockOf(Addr addr) const;
+    /** Apply one data burst (masked chips) and record it. */
+    void burst(unsigned block, std::uint16_t data_mask);
+    /** Non-empty strict subset of the rank's chips. */
+    std::uint16_t partialChipMask();
+
+    System &sys;
+    PmRank &rank;
+    PersistOracle &oracle;
+    CutSite site;
+    std::uint64_t occurrence;
+    Rng rng;
+
+    /** Pending blocks per (bank, EUR slot) register. */
+    std::vector<std::vector<std::vector<unsigned>>> pendingSlots;
+    /** VLEW chunk each register currently coalesces (-1 = none);
+     *  open-row exclusivity means one chunk per register at a time. */
+    std::vector<std::vector<std::int64_t>> pendingChunk;
+
+    std::uint64_t burstCount = 0;
+    std::uint64_t drainCount = 0;
+    std::uint64_t rowCloseCount = 0;
+    std::uint64_t flushCount = 0;
+    bool cut = false;
+    bool trig = false;
+};
+
+/** Tallies from a batch of whole-system crash trials. */
+struct SysCrashTally
+{
+    std::uint64_t trials = 0;
+    /** Cuts that fired at the armed hook site (vs horizon fallback). */
+    std::uint64_t cutsAtSite = 0;
+    std::uint64_t bursts = 0;
+    std::uint64_t drains = 0;
+    /** Queued PM writes the ADR domain flushed at the cut. */
+    std::uint64_t flushedAtCut = 0;
+    /** Blocks with a pending (unsettled) write at the cut. */
+    std::uint64_t pendingAtCut = 0;
+    std::uint64_t tornOld = 0;
+    std::uint64_t tornNew = 0;
+    /** Pending blocks resolved to an earlier still-pending burst. */
+    std::uint64_t tornIntermediate = 0;
+    std::uint64_t tornUe = 0;
+    /** Settled/untouched blocks sacrificed to a reported UE. */
+    std::uint64_t collateralUe = 0;
+    std::uint64_t chipKills = 0;
+    /** Orphaned persist acks absorbed during the reboot drive. */
+    std::uint64_t staleAcksAbsorbed = 0;
+    /** Oracle violations: must be zero. */
+    std::uint64_t violations = 0;
+
+    SysCrashTally &operator+=(const SysCrashTally &other);
+};
+
+/** Shape knobs for one whole-system trial. */
+struct SysCrashTrialConfig
+{
+    PmTech tech = PmTech::Reram;
+    CutSite site = CutSite::RandomTick;
+    /** Mirrored rank capacity; must cover >= 2 rows per bank so row
+     *  conflicts actually drain the EUR (multiple of 32). */
+    unsigned rankBlocks = 1024;
+    /** Banks per rank (both ranks; small keeps the rank mirrorable). */
+    unsigned banks = 4;
+    unsigned cores = 2;
+    /** Simulated horizon; hook cuts that never trigger fall back to a
+     *  cut here. */
+    Tick horizon = nsToTicks(8000);
+    /** Probability that a whole chip dies at the same cut. */
+    double chipKillFraction = 0.08;
+    /** RS acceptance threshold forwarded to recovery/reads. */
+    unsigned threshold = 2;
+    /** Drive the rebooted machine briefly after recovery so orphaned
+     *  persist acks exercise the stalePersistAcks guard. */
+    bool rebootDrive = true;
+};
+
+/** Run one seeded whole-system crash trial. */
+SysCrashTally runSysCrashTrial(const SysCrashTrialConfig &tc, Rng &rng);
+
+/** Campaign shape; the defaults meet the acceptance bar (>= 5k). */
+struct SysCrashCampaignConfig
+{
+    std::uint64_t seed = 2018;
+    /** Trials, split across (technology x cut site) cells. */
+    std::uint64_t trials = 6000;
+    /** Trials per sweep point (parallel work-item granularity). */
+    unsigned chunkTrials = 25;
+    SysCrashTrialConfig trial; //!< tech/site overwritten per cell
+};
+
+constexpr unsigned numSysCrashTechs = 2;
+
+/** Aggregated campaign outcome per (technology, cut site) cell. */
+struct SysCrashTotals
+{
+    std::array<std::array<SysCrashTally, numCutSites>, numSysCrashTechs>
+        cells;
+
+    SysCrashTally total() const;
+    std::uint64_t
+    violations() const
+    {
+        return total().violations;
+    }
+};
+
+/**
+ * Run the whole-system campaign as a ParallelSweep, print the per-cell
+ * table to @p os, and return the tallies. Output is byte-identical for
+ * any worker count at a fixed seed.
+ */
+SysCrashTotals systemCrashCampaign(std::ostream &os,
+                                   const SweepOptions &opts,
+                                   const SysCrashCampaignConfig &cfg);
+
+} // namespace nvck
+
+#endif // NVCK_SIM_SYSCRASH_HH

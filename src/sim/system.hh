@@ -62,6 +62,14 @@ class System : public CoreContext, public MemSink
     /** Advance simulation to absolute time @p until. */
     void runUntil(Tick until) { eq.runUntil(until); }
 
+    /**
+     * Stop the current runUntil() after the executing event returns —
+     * the machine dies mid-event. Crash campaigns call this from a
+     * CrashHooks callback at the chosen cut site so no simulated time
+     * passes between the cut and powerFail().
+     */
+    void requestHalt() { eq.halt(); }
+
     Tick now() const { return eq.now(); }
 
     // CoreContext interface ------------------------------------------
@@ -88,6 +96,9 @@ class System : public CoreContext, public MemSink
     const SystemStats &stats() const { return sysStats; }
     const SystemConfig &config() const { return cfg; }
 
+    /** Persist acks still owed to writes orphaned by a power cut. */
+    std::size_t pendingStaleAcks() const { return stalePersistAcks; }
+
     void resetStats();
 
     /**
@@ -102,6 +113,10 @@ class System : public CoreContext, public MemSink
     PowerFailReport powerFail();
 
   private:
+    /** Test seam: drives persistDone() directly to pin the
+     *  stale-persist-ack underflow guard with a death test. */
+    friend class SystemTestPeer;
+
     /**
      * Enqueue a controller transaction at time >= when; @p on_accept
      * fires when the controller admits the request (ADR persistence

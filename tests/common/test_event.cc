@@ -65,5 +65,40 @@ TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
     EXPECT_TRUE(eq.empty());
 }
 
+TEST(EventQueue, HaltStopsAfterCurrentEvent)
+{
+    // The crash campaigns cut power from inside an event: the current
+    // event finishes, no later event runs, time stays at the cut (the
+    // dead machine lived no further), and the queue survives so the
+    // "rebooted" machine can be driven again.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.halt();
+    });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+
+    // A later run clears the halt flag and resumes normally.
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, HaltOutsideRunIsANoOp)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.halt(); // nothing in flight; next run starts fresh
+    eq.schedule(5, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
 } // namespace
 } // namespace nvck
