@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Throughput benchmark for the discrete-event timing kernel
+ * (common/event.hh): the pooled two-tier calendar queue against the
+ * legacy heap kernel (`NVCK_EVENT_QUEUE=heap`), run side by side in
+ * one process via the SystemConfig::kernel override.
+ *
+ * Three scenarios:
+ *   - churn_ring:  self-rescheduling event sources whose delays all
+ *     land inside the calendar window — the tCAS/tBurst/step-quantum
+ *     regime that dominates every timing sweep.
+ *   - churn_mixed: same churn with ~1.6% of delays beyond the window,
+ *     exercising the overflow tier and its promotions.
+ *   - fig16_reram: one fig16-shaped proposal run (ReRAM latencies,
+ *     WHISPER workload) end to end, reporting both events/sec and
+ *     simulated-ticks/sec.
+ *
+ * Every scenario is identity-cross-checked before it is timed: the
+ * churn scripts must drain in the same order under both kernels (an
+ * order hash over (tick, source) pairs) and the fig16 runs must agree
+ * on every RunMetrics field; any divergence fails the run. "mbps" in
+ * the JSON is Mevents/s so scripts/check_bench.py gates it unchanged.
+ *
+ * Usage: bench_timing_throughput [--points N] [--seed S] [--quick]
+ *                                [--json PATH]
+ *   --points N  scenarios to run (default all 3, CI smoke uses 2).
+ *   --seed S    base RNG seed (default 2018).
+ *   --quick     shorter timing windows (CI smoke).
+ *   --json P    output path (default BENCH_timing_throughput.json).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "chipkill/schemes.hh"
+#include "common/event.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+
+namespace {
+
+using namespace nvck;
+
+/** Defeats dead-code elimination across timed calls. */
+volatile std::uint64_t g_sink = 0;
+
+struct OpResult
+{
+    double mevents = 0.0; //!< million executed events per second
+    double mticks = 0.0;  //!< million simulated ticks per second
+    double seconds = 0.0;
+    std::uint64_t iters = 0;
+    std::uint64_t events = 0;     //!< executed per op
+    std::uint64_t promotions = 0; //!< overflow promotions per op
+    std::uint64_t peakPending = 0;
+    std::uint64_t poolHighWater = 0;
+};
+
+/** One timing record: scenario x kernel. */
+struct Record
+{
+    std::string scenario;
+    std::string path;
+    OpResult res;
+};
+
+/**
+ * Self-rescheduling event sources: each handler draws the next delay
+ * and requeues itself until @p horizon. Delays stay inside the
+ * calendar window except every ~@p longEvery-th draw, which jumps past
+ * ringSpan into the overflow tier (0 disables long jumps). The handler
+ * captures {state pointer, source id} — 16 bytes, well inside
+ * InlineAction's budget and std::function's SSO, so neither kernel
+ * allocates per event and the comparison is pure queue mechanics.
+ */
+struct ChurnScript
+{
+    EventQueue &eq;
+    Rng rng;
+    Tick horizon;
+    unsigned longEvery;
+    bool trace;
+    std::uint64_t orderHash = 0xcbf29ce484222325ull; //!< FNV-1a basis
+
+    ChurnScript(EventQueue &queue, std::uint64_t seed, Tick limit,
+                unsigned long_every, bool want_trace)
+        : eq(queue), rng(seed), horizon(limit), longEvery(long_every),
+          trace(want_trace)
+    {}
+
+    void
+    fire(unsigned id)
+    {
+        if (trace) {
+            orderHash ^= eq.now() * 0x9e3779b97f4a7c15ull + id;
+            orderHash *= 0x100000001b3ull;
+        }
+        Tick delta = 1 + rng.below(64);
+        if (longEvery && rng.below(longEvery) == 0)
+            delta = EventQueue::ringSpan + rng.below(1024);
+        const Tick next = eq.now() + delta;
+        if (next <= horizon)
+            eq.schedule(next, [this, id] { fire(id); });
+    }
+};
+
+/** One full churn drain; returns the queue's counters + order hash. */
+OpResult
+runChurn(EventKernel kernel, std::uint64_t seed, Tick horizon,
+         unsigned long_every, bool trace, std::uint64_t *hash_out)
+{
+    constexpr unsigned sources = 1024;
+    EventQueue eq(kernel);
+    ChurnScript script(eq, seed, horizon, long_every, trace);
+    for (unsigned id = 0; id < sources; ++id)
+        eq.schedule(1 + id % 64, [&script, id] { script.fire(id); });
+    eq.run();
+    OpResult out;
+    out.events = eq.stats().executed.value();
+    out.promotions = eq.stats().overflowPromotions.value();
+    out.peakPending = eq.stats().peakPending;
+    out.poolHighWater = eq.stats().poolHighWater;
+    if (hash_out)
+        *hash_out = script.orderHash;
+    g_sink = g_sink + eq.now();
+    return out;
+}
+
+/** Repeat @p op until @p min_seconds accumulate; fill in the rates. */
+template <typename F>
+OpResult
+measure(double min_seconds, double ticks_per_op, F &&op)
+{
+    using clock = std::chrono::steady_clock;
+    OpResult out = op(); // warmup: faults tables in, primes caches
+    std::uint64_t iters = 0;
+    double seconds = 0.0;
+    const auto start = clock::now();
+    do {
+        out = op();
+        ++iters;
+        seconds =
+            std::chrono::duration<double>(clock::now() - start).count();
+    } while (seconds < min_seconds);
+    out.iters = iters;
+    out.seconds = seconds;
+    // The scripts are deterministic, so per-op counters are identical
+    // across iterations; scale only the rates.
+    const double per_op = out.seconds / static_cast<double>(out.iters);
+    out.mevents = static_cast<double>(out.events) / per_op / 1e6;
+    out.mticks = ticks_per_op / per_op / 1e6;
+    return out;
+}
+
+void
+benchChurn(std::vector<Record> &records, const std::string &scenario,
+           std::uint64_t seed, Tick horizon, unsigned long_every,
+           double min_seconds)
+{
+    // Identity gate: both kernels must drain the same script in the
+    // same order before either is timed.
+    std::uint64_t calendar_hash = 0, heap_hash = 0;
+    const OpResult a = runChurn(EventKernel::Calendar, seed, horizon,
+                                long_every, true, &calendar_hash);
+    const OpResult b = runChurn(EventKernel::Heap, seed, horizon,
+                                long_every, true, &heap_hash);
+    if (calendar_hash != heap_hash || a.events != b.events) {
+        std::cerr << "FATAL: calendar/heap drain divergence in "
+                  << scenario << "\n";
+        std::exit(1);
+    }
+
+    for (const EventKernel kernel :
+         {EventKernel::Heap, EventKernel::Calendar}) {
+        records.push_back({scenario, eventKernelName(kernel),
+                           measure(min_seconds, 0.0, [&] {
+                               return runChurn(kernel, seed, horizon,
+                                               long_every, false,
+                                               nullptr);
+                           })});
+    }
+}
+
+/** Exact-equality check over every RunMetrics field (exit 1). */
+void
+checkSameMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    const bool same =
+        a.ipc == b.ipc && a.mflops == b.mflops && a.perf == b.perf &&
+        a.cFactor == b.cFactor && a.omvHitRate == b.omvHitRate &&
+        a.dirtyPmFraction == b.dirtyPmFraction &&
+        a.omvFraction == b.omvFraction && a.pmReads == b.pmReads &&
+        a.pmWrites == b.pmWrites && a.dramReads == b.dramReads &&
+        a.dramWrites == b.dramWrites &&
+        a.overheadReads == b.overheadReads &&
+        a.overheadWrites == b.overheadWrites &&
+        a.vlewFetches == b.vlewFetches &&
+        a.oldDataFetches == b.oldDataFetches &&
+        a.avgReadLatencyNs == b.avgReadLatencyNs &&
+        a.avgWriteLatencyNs == b.avgWriteLatencyNs &&
+        a.rowHitRate == b.rowHitRate;
+    if (!same) {
+        std::cerr << "FATAL: calendar/heap RunMetrics divergence in "
+                  << "fig16_reram\n";
+        std::exit(1);
+    }
+}
+
+/** One fig16-shaped proposal run under the given kernel. */
+OpResult
+runFig16(EventKernel kernel, const std::string &workload,
+         std::uint64_t seed, const RunControl &rc, RunMetrics *metrics)
+{
+    SystemConfig cfg = SystemConfig::make(
+        PmTech::Reram, proposalScheme(runtimeRberFor(PmTech::Reram)),
+        workload, seed);
+    cfg.kernel = kernel;
+    const EventKernelTotals before = eventKernelTotals();
+    const RunMetrics m = runOnce(cfg, rc);
+    const EventKernelTotals after = eventKernelTotals();
+    OpResult out;
+    out.events = after.executed - before.executed;
+    out.promotions = after.overflowPromotions - before.overflowPromotions;
+    out.peakPending = after.maxPeakPending;
+    out.poolHighWater = after.maxPoolHighWater;
+    if (metrics)
+        *metrics = m;
+    g_sink = g_sink + m.pmReads;
+    return out;
+}
+
+void
+benchFig16(std::vector<Record> &records, std::uint64_t seed,
+           double min_seconds, double scale)
+{
+    const RunControl rc = benchRunControl(scale);
+    const double ticks_per_op =
+        static_cast<double>(rc.warmup + rc.measure);
+    const std::string workload = "ycsb"; // WHISPER, fig16's left half
+
+    RunMetrics calendar_m, heap_m;
+    runFig16(EventKernel::Calendar, workload, seed, rc, &calendar_m);
+    runFig16(EventKernel::Heap, workload, seed, rc, &heap_m);
+    checkSameMetrics(calendar_m, heap_m);
+
+    for (const EventKernel kernel :
+         {EventKernel::Heap, EventKernel::Calendar}) {
+        records.push_back({"fig16_reram", eventKernelName(kernel),
+                           measure(min_seconds, ticks_per_op, [&] {
+                               return runFig16(kernel, workload, seed,
+                                               rc, nullptr);
+                           })});
+    }
+}
+
+const Record *
+find(const std::vector<Record> &records, const std::string &scenario,
+     const std::string &path)
+{
+    for (const auto &r : records)
+        if (r.scenario == scenario && r.path == path)
+            return &r;
+    return nullptr;
+}
+
+void
+writeJson(const std::vector<Record> &records,
+          const std::vector<std::string> &scenarios,
+          const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    os << "{\n  \"benchmark\": \"timing_throughput\",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        os << "    {\"scenario\": \"" << r.scenario << "\", \"path\": \""
+           << r.path << "\", \"mbps\": " << r.res.mevents
+           << ", \"mticks_per_s\": " << r.res.mticks
+           << ", \"events\": " << r.res.events
+           << ", \"overflow_promotions\": " << r.res.promotions
+           << ", \"peak_pending\": " << r.res.peakPending
+           << ", \"pool_high_water\": " << r.res.poolHighWater
+           << ", \"iters\": " << r.res.iters
+           << ", \"seconds\": " << r.res.seconds << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"speedup\": {\n";
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        const Record *heap = find(records, scenarios[s], "heap");
+        const Record *cal = find(records, scenarios[s], "calendar");
+        const double speedup = (heap && cal && heap->res.mevents > 0)
+                                   ? cal->res.mevents / heap->res.mevents
+                                   : 0.0;
+        os << "    \"" << scenarios[s] << "\": " << speedup
+           << (s + 1 < scenarios.size() ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double min_seconds = 0.25;
+    unsigned points = 3;
+    std::uint64_t seed = 2018;
+    bool quick = false;
+    std::string json_path = "BENCH_timing_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+            min_seconds = 0.04;
+        } else if (arg == "--points" && i + 1 < argc) {
+            points = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::stoull(argv[++i]);
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--points N] [--seed S] [--quick]"
+                      << " [--json PATH]\n";
+            return 2;
+        }
+    }
+
+    banner("Event kernel",
+           "timing-kernel throughput, calendar vs heap");
+
+    std::vector<Record> records;
+    std::vector<std::string> scenarios;
+    if (points >= 1) {
+        benchChurn(records, "churn_ring", seed,
+                   quick ? 20000 : 100000, 0, min_seconds);
+        scenarios.push_back("churn_ring");
+    }
+    if (points >= 2) {
+        // The horizon must span several ring windows or the long jumps
+        // would sail past it and never reach the overflow tier.
+        benchChurn(records, "churn_mixed", seed ^ 0x16,
+                   (quick ? 2 : 6) * EventQueue::ringSpan, 64,
+                   min_seconds);
+        scenarios.push_back("churn_mixed");
+    }
+    if (points >= 3) {
+        benchFig16(records, seed, min_seconds, quick ? 0.05 : 0.25);
+        scenarios.push_back("fig16_reram");
+    }
+
+    Table table({"scenario", "heap Mev/s", "calendar Mev/s", "speedup",
+                 "events/op"});
+    double churn_speedup = 0.0;
+    for (const auto &scenario : scenarios) {
+        const Record *heap = find(records, scenario, "heap");
+        const Record *cal = find(records, scenario, "calendar");
+        const double speedup = cal->res.mevents / heap->res.mevents;
+        if (scenario.rfind("churn_", 0) == 0 && speedup > churn_speedup)
+            churn_speedup = speedup;
+        table.row()
+            .cell(scenario)
+            .cell(heap->res.mevents)
+            .cell(cal->res.mevents)
+            .cell(speedup)
+            .cell(static_cast<double>(cal->res.events), 0);
+    }
+    table.print(std::cout);
+    std::cout << "best event-kernel speedup (churn): "
+              << Table::formatNumber(churn_speedup, 3) << "x\n";
+    if (const Record *cal = find(records, "fig16_reram", "calendar")) {
+        const Record *heap = find(records, "fig16_reram", "heap");
+        std::cout << "fig16 end-to-end: "
+                  << Table::formatNumber(heap->res.mticks, 3) << " -> "
+                  << Table::formatNumber(cal->res.mticks, 3)
+                  << " Mticks/s simulated\n";
+    }
+
+    writeJson(records, scenarios, json_path);
+    return 0;
+}

@@ -10,7 +10,6 @@
 #define NVCK_CACHE_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -70,17 +69,23 @@ class SetAssocCache
     /** Invalidate a line. */
     void invalidate(CacheLine &line);
 
-    /** Iterate all lines (occupancy statistics). */
+    /**
+     * Iterate all lines (occupancy statistics). Statically dispatched:
+     * the sweep visits every line of a multi-MB directory, so the
+     * callback must inline rather than bounce through a std::function.
+     */
+    template <typename Fn>
     void
-    forEach(const std::function<void(const CacheLine &)> &fn) const
+    forEach(Fn &&fn) const
     {
         for (const auto &line : store)
             fn(line);
     }
 
     /** Iterate all lines mutably (bulk invalidation sweeps). */
+    template <typename Fn>
     void
-    forEachMutable(const std::function<void(CacheLine &)> &fn)
+    forEachMutable(Fn &&fn)
     {
         for (auto &line : store)
             fn(line);

@@ -4,42 +4,245 @@
  * All timing components (cores, caches, memory controller) schedule
  * work against one shared EventQueue; ties break in FIFO order so runs
  * are fully deterministic.
+ *
+ * Two interchangeable kernels produce the exact same execution order:
+ *
+ *  - Calendar (default): a two-tier calendar queue. The near-future
+ *    tier is a power-of-two ring of per-tick FIFO buckets covering
+ *    ringSpan ticks ahead of now() — every short-delay event (tCAS,
+ *    tBurst, retry backoffs, the cores' step quantum) schedules and
+ *    pops in O(1) with no comparator churn. Events beyond the window
+ *    wait in a sorted overflow tier (a small binary heap) and are
+ *    promoted into buckets whenever now() advances, before anything at
+ *    their tick can run or be scheduled. Actions live in pooled event
+ *    nodes as small-buffer InlineActions, so steady-state scheduling
+ *    performs zero heap allocations.
+ *  - Heap (NVCK_EVENT_QUEUE=heap): the legacy kernel, kept verbatim as
+ *    a differential baseline — one std::priority_queue of
+ *    {Tick, seq, std::function} entries, an allocation per scheduled
+ *    closure and O(log n) per push/pop.
+ *
+ * Determinism argument for the calendar tier: seq numbers increase
+ * monotonically with schedule order. A bucket receives events either
+ * by direct schedule (seq ascending over time) or by promotion, and
+ * promotions happen in (when, seq) heap order at the instant the
+ * window first covers their tick — before any direct schedule at that
+ * tick is possible (an event is only eligible for direct placement
+ * once its tick is inside the window, and every window advance
+ * promotes first). Hence every bucket FIFO is seq-sorted and the drain
+ * order equals the heap kernel's (when, seq) order exactly.
  */
 
 #ifndef NVCK_COMMON_EVENT_HH
 #define NVCK_COMMON_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace nvck {
+
+/** Which event-queue implementation to run. */
+enum class EventKernel
+{
+    Calendar, //!< pooled two-tier calendar queue (default)
+    Heap,     //!< legacy std::function binary heap
+};
+
+/** Human-readable kernel name ("calendar" / "heap"). */
+const char *eventKernelName(EventKernel kernel);
+
+/**
+ * The process-wide default kernel: Calendar, unless the environment
+ * variable NVCK_EVENT_QUEUE is set to "heap". Any other value is
+ * rejected with a one-line error and exit(2) (common/env.hh). Read
+ * once and cached.
+ */
+EventKernel defaultEventKernel();
+
+/**
+ * A non-allocating, small-buffer-optimized callable slot for event
+ * actions. Capacity is a hard compile-time bound: captures that do not
+ * fit are a build error, not a silent heap fallback — keep hot-path
+ * captures to a couple of pointers, or route bulky state through a
+ * pooled object (see System's issue slots) and capture the pointer.
+ */
+class InlineAction
+{
+  public:
+    /** Capture budget: a std::function-sized callback plus a Tick. */
+    static constexpr std::size_t capacity = 48;
+
+    InlineAction() = default;
+    ~InlineAction() { reset(); }
+    InlineAction(const InlineAction &) = delete;
+    InlineAction &operator=(const InlineAction &) = delete;
+
+    /** Construct the callable in place (slot must be empty or reset). */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= capacity,
+                      "InlineAction capture exceeds the 48-byte budget; "
+                      "shrink it or capture a pooled-object pointer");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned captures unsupported");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "event actions must be nothrow-movable");
+        ::new (static_cast<void *>(buf)) Fn(std::forward<F>(fn));
+        invokeFn = [](void *p) { (*static_cast<Fn *>(p))(); };
+        dtorFn = std::is_trivially_destructible_v<Fn>
+                     ? nullptr
+                     : +[](void *p) { static_cast<Fn *>(p)->~Fn(); };
+    }
+
+    /** Invoke (slot must be armed). */
+    void operator()() { invokeFn(buf); }
+
+    bool armed() const { return invokeFn != nullptr; }
+
+    /** Destroy the held callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (dtorFn)
+            dtorFn(buf);
+        invokeFn = nullptr;
+        dtorFn = nullptr;
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf[capacity];
+    void (*invokeFn)(void *) = nullptr;
+    void (*dtorFn)(void *) = nullptr;
+};
+
+/** Per-queue observability counters (common/stats primitives). */
+struct EventQueueStats
+{
+    Counter executed;            //!< events dispatched
+    Counter overflowPromotions;  //!< events that took the overflow tier
+    std::size_t peakPending = 0; //!< max simultaneously queued events
+    /**
+     * Pool nodes ever allocated (live + free-listed). Flat across a
+     * steady-state workload == zero heap allocations per scheduled
+     * event; the differential tests assert exactly that.
+     */
+    std::size_t poolHighWater = 0;
+};
+
+/**
+ * Process-wide roll-up of every retired EventQueue's counters (sums,
+ * and maxima for the peak/high-water gauges), dumped by the sweep
+ * driver under --timing. Atomically updated in the queue destructor so
+ * per-worker queues merge without ordering sensitivity.
+ */
+struct EventKernelTotals
+{
+    std::uint64_t queues = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t overflowPromotions = 0;
+    std::uint64_t maxPeakPending = 0;
+    std::uint64_t maxPoolHighWater = 0;
+};
+
+/** Snapshot of the process-wide roll-up. */
+EventKernelTotals eventKernelTotals();
 
 /** The simulation event queue. */
 class EventQueue
 {
   public:
+    /** Ticks the near-future ring covers ahead of now(). */
+    static constexpr Tick ringSpan = Tick{1} << 17;
+
+    explicit EventQueue(EventKernel kernel = defaultEventKernel());
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
     /** Current simulated time. */
     Tick now() const { return currentTick; }
 
-    /** Schedule @p action to run at absolute time @p when (>= now). */
-    void schedule(Tick when, std::function<void()> action);
+    /** Which kernel this queue runs. */
+    EventKernel kernel() const { return impl; }
 
-    /** Schedule @p action @p delay ticks from now. */
+    /**
+     * Schedule @p action to run at absolute time @p when. Scheduling
+     * into the past (when < now()) is a fatal error: a past event
+     * would execute "before" already-executed ones and silently break
+     * runUntil()'s monotonicity contract, so the queue dies with a
+     * diagnostic instead.
+     */
+    template <typename F>
     void
-    scheduleAfter(Tick delay, std::function<void()> action)
+    schedule(Tick when, F &&action)
     {
-        schedule(currentTick + delay, std::move(action));
+        if (impl == EventKernel::Heap) {
+            checkNotPast(when);
+            legacy.push(LegacyEntry{when, nextSeq++,
+                                    std::function<void()>(
+                                        std::forward<F>(action))});
+            bumpPending();
+            return;
+        }
+        Node &n = acquireNode(when);
+        n.action.emplace(std::forward<F>(action));
+        insertCalendar(n);
     }
 
+    /** Schedule @p action @p delay ticks from now. */
+    template <typename F>
+    void
+    scheduleAfter(Tick delay, F &&action)
+    {
+        schedule(currentTick + delay, std::forward<F>(action));
+    }
+
+    /**
+     * A pre-armed event whose action outlives each execution: the
+     * pooled node is kept (not recycled) when it fires, so rearm()
+     * requeues the same capture with no per-occurrence allocation or
+     * action re-construction. One instance may be pending at a time;
+     * the natural shape is a self-rearming tick loop (Core::step).
+     * The captured state must outlive the queue's last run, exactly
+     * as for any scheduled [this] closure.
+     */
+    struct Recurring
+    {
+        std::uint32_t idx = UINT32_MAX;
+        bool valid() const { return idx != UINT32_MAX; }
+    };
+
+    /** Create the recurring event (does not schedule it). */
+    template <typename F>
+    Recurring
+    makeRecurring(F &&action)
+    {
+        Node &n = allocRecurring();
+        n.action.emplace(std::forward<F>(action));
+        return Recurring{n.self};
+    }
+
+    /** Queue @p ev at absolute time @p when (must not be pending). */
+    void rearm(Recurring ev, Tick when);
+
     /** True when no events remain. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return sizeCount == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events.size(); }
+    std::size_t pending() const { return sizeCount; }
 
     /** Execute events in order until the queue drains. */
     void run();
@@ -62,17 +265,32 @@ class EventQueue
      */
     void halt() { halted = true; }
 
+    const EventQueueStats &stats() const { return statistics; }
+
   private:
-    struct Entry
+    /** One pooled event. Nodes never move: chunked stable storage. */
+    struct Node
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t next = UINT32_MAX; //!< bucket FIFO / free list
+        std::uint32_t self = 0;          //!< own pool index
+        bool recurring = false;
+        bool queued = false;
+        InlineAction action;
+    };
+
+    /** Legacy heap-kernel entry (the pre-calendar representation). */
+    struct LegacyEntry
     {
         Tick when;
         std::uint64_t seq;
         std::function<void()> action;
     };
-    struct Later
+    struct LegacyLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const LegacyEntry &a, const LegacyEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -80,10 +298,65 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    struct Bucket
+    {
+        std::uint32_t head = UINT32_MAX;
+        std::uint32_t tail = UINT32_MAX;
+    };
+
+    static constexpr std::uint32_t nil = UINT32_MAX;
+    static constexpr std::uint32_t ringSize =
+        static_cast<std::uint32_t>(ringSpan);
+    static constexpr std::uint32_t ringMask = ringSize - 1;
+    static constexpr std::uint32_t chunkShift = 8; //!< 256 nodes/chunk
+
+    Node &node(std::uint32_t idx) const;
+    std::uint32_t poolAlloc();
+    Node &acquireNode(Tick when);
+    Node &allocRecurring();
+    void releaseNode(Node &n);
+    void checkNotPast(Tick when) const;
+    void bumpPending();
+
+    void insertCalendar(Node &n);
+    void bucketPush(Node &n);
+    std::uint32_t bucketPop(std::uint32_t idx);
+    void overflowPush(std::uint32_t idx);
+    std::uint32_t overflowPopMin();
+    /** Move every overflow event now inside the window into buckets. */
+    void promote();
+    /** Earliest pending tick (requires !empty()). */
+    Tick nextWhen() const;
+    /** First set bucket bit at logical position >= pos; nil if none. */
+    std::uint32_t findSetFrom(std::uint32_t pos) const;
+    void markBucket(std::uint32_t idx);
+    void clearBucket(std::uint32_t idx);
+    /** Pop + dispatch the earliest event (advances now()). */
+    void executeNext();
+
+    EventKernel impl;
     Tick currentTick = 0;
     std::uint64_t nextSeq = 0;
+    std::size_t sizeCount = 0;
     bool halted = false;
+    EventQueueStats statistics;
+
+    // Calendar tier.
+    std::vector<Bucket> buckets;
+    std::vector<std::uint64_t> bitsL0; //!< one bit per bucket
+    std::vector<std::uint64_t> bitsL1; //!< one bit per L0 word
+    std::uint64_t bitsL2 = 0;          //!< one bit per L1 word
+    std::size_t ringCount = 0;
+    std::vector<std::uint32_t> overflow; //!< (when,seq) min-heap
+    // Node pool: chunked stable storage + an intrusive free list.
+    std::vector<std::unique_ptr<Node[]>> chunks;
+    std::uint32_t freeHead = nil;
+    std::uint32_t allocated = 0;
+
+    // Legacy heap tier.
+    std::priority_queue<LegacyEntry, std::vector<LegacyEntry>,
+                        LegacyLater>
+        legacy;
 };
 
 } // namespace nvck

@@ -8,7 +8,9 @@ Core::Core(unsigned id, EventQueue &event_queue, CoreContext &context,
            Workload &workload, const CoreConfig &config)
     : coreId(id), eq(event_queue), ctx(context), load(workload),
       cfg(config)
-{}
+{
+    stepEv = eq.makeRecurring([this] { step(); });
+}
 
 Tick
 Core::cyclesToTicks(double c) const
@@ -29,7 +31,37 @@ Core::start()
 {
     localTick = eq.now();
     statsStartTick = localTick;
-    eq.schedule(localTick, [this] { step(); });
+    eq.rearm(stepEv, localTick);
+}
+
+void
+Core::memComplete(Tick t)
+{
+    NVCK_ASSERT(pendingLoads > 0, "spurious completion");
+    --pendingLoads;
+    if (state == State::StallMem) {
+        state = State::Running;
+        if (t > localTick) {
+            stallMemTicks += t - stallStart;
+            localTick = t;
+        }
+        // Completions arrive from events executing at their own tick,
+        // so t == eq.now(); the queue asserts it (no silent clamping
+        // of a past timestamp to now).
+        eq.rearm(stepEv, t);
+    }
+}
+
+void
+Core::fenceResume(Tick t)
+{
+    NVCK_ASSERT(state == State::StallFence, "unexpected fence resume");
+    state = State::Running;
+    if (t > localTick) {
+        stallFenceTicks += t - stallStart;
+        localTick = t;
+    }
+    eq.rearm(stepEv, t);
 }
 
 void
@@ -63,7 +95,7 @@ Core::step()
             // the window is full. Dependence chains are modelled by the
             // workload's MLP (window size 1 serialises misses).
             if (pendingLoads >= load.mlp()) {
-                // Window full: wait for a completion to resume.
+                // Window full: memComplete() resumes the step loop.
                 state = State::StallMem;
                 stallStart = localTick;
                 return;
@@ -71,21 +103,9 @@ Core::step()
             localTick += gap_ticks;
             Cycle lat = 0;
             const bool is_store = op.kind == TraceOp::Kind::Store;
-            const bool local = ctx.access(
-                coreId, op.addr, is_store, op.isPm, localTick, &lat,
-                [this](Tick t) {
-                    NVCK_ASSERT(pendingLoads > 0, "spurious completion");
-                    --pendingLoads;
-                    if (state == State::StallMem) {
-                        state = State::Running;
-                        if (t > localTick) {
-                            stallMemTicks += t - stallStart;
-                            localTick = t;
-                        }
-                        eq.schedule(std::max(t, eq.now()),
-                                    [this] { step(); });
-                    }
-                });
+            const bool local = ctx.access(coreId, op.addr, is_store,
+                                          op.isPm, localTick, &lat,
+                                          *this);
             if (local) {
                 localTick += cyclesToTicks(static_cast<double>(lat));
             } else {
@@ -106,22 +126,13 @@ Core::step()
           case TraceOp::Kind::Fence:
             localTick += gap_ticks;
             if (ctx.persistsPending(coreId)) {
-                // Consume the op now; resume when persists drain.
+                // Consume the op now; fenceResume() continues when the
+                // persists drain.
                 retired += op.gap + 1;
                 holdingOp = false;
                 state = State::StallFence;
                 stallStart = localTick;
-                ctx.onPersistDrain(coreId, [this](Tick t) {
-                    NVCK_ASSERT(state == State::StallFence,
-                                "unexpected fence resume");
-                    state = State::Running;
-                    if (t > localTick) {
-                        stallFenceTicks += t - stallStart;
-                        localTick = t;
-                    }
-                    eq.schedule(std::max(t, eq.now()),
-                                [this] { step(); });
-                });
+                ctx.onPersistDrain(coreId, *this);
                 return;
             }
             break;
@@ -131,7 +142,10 @@ Core::step()
         holdingOp = false;
     }
 
-    eq.schedule(std::max(localTick, eq.now()), [this] { step(); });
+    // localTick only grows during a step and started >= eq.now(), so
+    // this never schedules into the past (the queue would die if a
+    // regression made it try).
+    eq.rearm(stepEv, localTick);
 }
 
 } // namespace nvck

@@ -14,7 +14,6 @@
 #define NVCK_CPU_CORE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "common/event.hh"
 #include "common/types.hh"
@@ -22,10 +21,16 @@
 
 namespace nvck {
 
+class Core;
+
 /**
  * Services a core's memory operations. Implemented by the system glue,
  * which owns the cache hierarchy, the protection scheme, and the
- * memory controller.
+ * memory controller. Completions are delivered straight to the
+ * requesting core (Core::memComplete / Core::fenceResume) rather than
+ * through per-access closures: the core issues millions of accesses
+ * per simulated millisecond, and a callback object per access was the
+ * request path's dominant allocation.
  */
 class CoreContext
 {
@@ -37,12 +42,13 @@ class CoreContext
      *
      * @return true when the access completes locally; *latency_cycles
      *         then holds the pipeline cost. false when the access needs
-     *         an off-chip response; @p on_complete fires at data return
-     *         (loads only; stores are always posted and return true).
+     *         an off-chip response; @p requester.memComplete() fires at
+     *         data return (loads only; stores are always posted and
+     *         return true).
      */
     virtual bool access(unsigned core, Addr addr, bool is_write,
                         bool is_pm, Tick when, Cycle *latency_cycles,
-                        std::function<void(Tick)> on_complete) = 0;
+                        Core &requester) = 0;
 
     /** clwb semantics: push the dirty block toward memory at @p when. */
     virtual void clean(unsigned core, Addr addr, bool is_pm,
@@ -51,9 +57,8 @@ class CoreContext
     /** True while @p core has persists in flight (fence must wait). */
     virtual bool persistsPending(unsigned core) const = 0;
 
-    /** Invoke @p resume when @p core's persists drain. */
-    virtual void onPersistDrain(unsigned core,
-                                std::function<void(Tick)> resume) = 0;
+    /** Call @p requester.fenceResume() when @p core's persists drain. */
+    virtual void onPersistDrain(unsigned core, Core &requester) = 0;
 };
 
 /** Core parameters (Table I). */
@@ -74,6 +79,15 @@ class Core
 
     /** Begin executing (schedules the first step). */
     void start();
+
+    /**
+     * An outstanding off-chip access completed at time @p t. Frees the
+     * miss-window slot and, if the window was full, resumes stepping.
+     */
+    void memComplete(Tick t);
+
+    /** The core's persists drained at @p t; resume from the fence. */
+    void fenceResume(Tick t);
 
     /** Retired instructions (gap instructions + one per op). */
     std::uint64_t instructions() const { return retired; }
@@ -110,6 +124,14 @@ class Core
     CoreContext &ctx;
     Workload &load;
     CoreConfig cfg;
+
+    /**
+     * The step loop's pooled event: every quantum end, miss resume, and
+     * fence resume rearms this one node instead of scheduling a fresh
+     * closure (at most one can be pending — a stalled core scheduled
+     * nothing, and a running core's step event just fired).
+     */
+    EventQueue::Recurring stepEv;
 
     State state = State::Running;
     Tick localTick = 0;

@@ -62,39 +62,42 @@ MemController::canAccept(MemOp op) const
 }
 
 bool
-MemController::enqueue(const MemRequest &req)
+MemController::enqueue(MemRequest req)
 {
     if (!canAccept(req.op))
         return false;
+    const MemOp op = req.op;
     Queued q;
-    q.req = req;
-    q.enqueued = eq.now();
     decode(req, q);
+    q.req = std::move(req);
+    q.enqueued = eq.now();
 
-    if (req.op == MemOp::Read) {
+    if (op == MemOp::Read) {
         readQueue.push_back(std::move(q));
         statistics.readQueueDepth.sample(
             static_cast<double>(readQueue.size()));
     } else {
         // Same-block writes coalesce in the write queue (the newer data
         // simply replaces the queued payload in a real controller).
-        const Addr block = req.addr / blockBytes;
+        const Addr block = q.req.addr / blockBytes;
         bool merged = false;
         for (auto &pending : writeQueue) {
             if (pending.req.addr / blockBytes == block &&
-                pending.req.isPm == req.isPm) {
+                pending.req.isPm == q.req.isPm) {
                 // Preserve both completion callbacks.
                 if (pending.req.onComplete && q.req.onComplete) {
-                    auto first = pending.req.onComplete;
-                    auto second = q.req.onComplete;
-                    q.req.onComplete = [first, second](Tick t) {
+                    auto first = std::move(pending.req.onComplete);
+                    auto second = std::move(q.req.onComplete);
+                    q.req.onComplete = [first = std::move(first),
+                                        second = std::move(second)](
+                                           Tick t) {
                         first(t);
                         second(t);
                     };
                 } else if (pending.req.onComplete) {
-                    q.req.onComplete = pending.req.onComplete;
+                    q.req.onComplete = std::move(pending.req.onComplete);
                 }
-                pending.req = q.req;
+                pending.req = std::move(q.req);
                 merged = true;
                 statistics.coalescedWrites.inc();
                 break;
@@ -261,8 +264,8 @@ MemController::issue(Queued q)
         statistics.writeLatency.sample(ticksToNs(finish - q.enqueued));
 
     if (q.req.onComplete) {
-        eq.schedule(finish,
-                    [cb = q.req.onComplete, finish] { cb(finish); });
+        eq.schedule(finish, [cb = std::move(q.req.onComplete),
+                             finish] { cb(finish); });
     }
 }
 

@@ -123,11 +123,13 @@ class MemController
     bool canAccept(MemOp op) const;
 
     /**
-     * Add a transaction. Returns false (request dropped) when the
-     * queue is full; callers are expected to check canAccept() and
-     * apply backpressure.
+     * Add a transaction. Returns false (request dropped, argument
+     * consumed — retry with a fresh copy) when the queue is full;
+     * callers are expected to check canAccept() and apply
+     * backpressure. Taken by value so the queued entry is moved, not
+     * copied, from the caller's request.
      */
-    bool enqueue(const MemRequest &req);
+    bool enqueue(MemRequest req);
 
     /** Pending demand reads (for idle detection). */
     std::size_t readQueueSize() const { return readQueue.size(); }

@@ -23,32 +23,6 @@ EurModel::recordWrite(unsigned bank, unsigned vlew_slot)
 }
 
 unsigned
-EurModel::drain(unsigned bank)
-{
-    return drainSlots(bank, nullptr);
-}
-
-unsigned
-EurModel::drainSlots(unsigned bank,
-                     const std::function<void(unsigned)> &on_slot)
-{
-    NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
-    unsigned count = 0;
-    std::uint64_t mask = dirtyMask[bank];
-    while (mask) {
-        const unsigned slot =
-            static_cast<unsigned>(std::countr_zero(mask));
-        if (on_slot)
-            on_slot(slot);
-        mask &= mask - 1;
-        dirtyMask[bank] &= ~(1ull << slot);
-        ++count;
-    }
-    totalCodeWrites += count;
-    return count;
-}
-
-unsigned
 EurModel::pendingRegisters(unsigned bank) const
 {
     NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");

@@ -11,10 +11,11 @@
 #ifndef NVCK_MEM_EUR_HH
 #define NVCK_MEM_EUR_HH
 
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace nvck {
@@ -37,16 +38,38 @@ class EurModel
      * The open row of @p bank is closing: drain its registers. Returns
      * the number of coalesced VLEW code-bit writes performed.
      */
-    unsigned drain(unsigned bank);
+    unsigned
+    drain(unsigned bank)
+    {
+        return drainSlots(bank, [](unsigned) {});
+    }
 
     /**
      * drain() with the ordering made explicit: registers retire lowest
      * VLEW slot first, and @p on_slot observes each retirement before
      * the register clears. A power cut between observations models a
      * crash mid-drain (some code-bit updates applied, the rest lost).
+     * Statically dispatched: row closes sit on the write hot path, so
+     * the observer must not cost a type-erased call per retirement.
      */
-    unsigned drainSlots(unsigned bank,
-                        const std::function<void(unsigned)> &on_slot);
+    template <typename Fn>
+    unsigned
+    drainSlots(unsigned bank, Fn &&on_slot)
+    {
+        NVCK_ASSERT(bank < dirtyMask.size(), "bad bank");
+        unsigned count = 0;
+        std::uint64_t mask = dirtyMask[bank];
+        while (mask) {
+            const unsigned slot =
+                static_cast<unsigned>(std::countr_zero(mask));
+            on_slot(slot);
+            mask &= mask - 1;
+            dirtyMask[bank] &= ~(1ull << slot);
+            ++count;
+        }
+        totalCodeWrites += count;
+        return count;
+    }
 
     /** Dirty registers currently pending for @p bank. */
     unsigned pendingRegisters(unsigned bank) const;

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/event.hh"
+
 namespace nvck {
 
 std::vector<RunMetrics>
@@ -160,6 +162,26 @@ printTimings(const std::vector<std::pair<std::string, double>> &times,
     }
     std::fprintf(stderr, "#   %-28s %10.2f ms\n", "total point time",
                  total);
+
+    // Event-kernel roll-up across every retired queue (one per
+    // simulated System): how hard the timing kernel worked for this
+    // sweep, and whether the pools stayed flat (no steady-state heap
+    // traffic). Queues still alive at this instant are not included.
+    const EventKernelTotals ev = eventKernelTotals();
+    if (ev.queues > 0) {
+        std::fprintf(stderr,
+                     "# event kernel (%s): %llu queues, %llu events, "
+                     "%llu overflow promotions, peak pending %llu, "
+                     "pool high-water %llu\n",
+                     eventKernelName(defaultEventKernel()),
+                     static_cast<unsigned long long>(ev.queues),
+                     static_cast<unsigned long long>(ev.executed),
+                     static_cast<unsigned long long>(
+                         ev.overflowPromotions),
+                     static_cast<unsigned long long>(ev.maxPeakPending),
+                     static_cast<unsigned long long>(
+                         ev.maxPoolHighWater));
+    }
 }
 
 void

@@ -28,6 +28,7 @@ System::System(const SystemConfig &config)
 System::System(const SystemConfig &config,
                std::unique_ptr<Workload> external_workload)
     : cfg(config),
+      eq(config.kernel),
       mem(eq, cfg.mem),
       hierarchy(cfg.cache, *this),
       bench(std::move(external_workload)),
@@ -48,24 +49,77 @@ System::start()
         core->start();
 }
 
+std::uint32_t
+System::parkIssue(MemRequest req, std::function<void(Tick)> on_accept)
+{
+    std::uint32_t s;
+    if (freeIssueSlot != noSlot) {
+        s = freeIssueSlot;
+        freeIssueSlot = issueSlots[s].next;
+    } else {
+        s = static_cast<std::uint32_t>(issueSlots.size());
+        issueSlots.emplace_back();
+    }
+    issueSlots[s].req = std::move(req);
+    issueSlots[s].onAccept = std::move(on_accept);
+    return s;
+}
+
+void
+System::retryIssue(std::uint32_t s)
+{
+    if (!mem.enqueue(issueSlots[s].req)) {
+        eq.scheduleAfter(retryDelay, [this, s] { retryIssue(s); });
+        return;
+    }
+    // Recycle before invoking: the acceptance callback may issue more
+    // traffic (and re-park into this very slot) — everything it needs
+    // has been moved out.
+    auto on_accept = std::move(issueSlots[s].onAccept);
+    issueSlots[s].next = freeIssueSlot;
+    freeIssueSlot = s;
+    if (on_accept)
+        on_accept(eq.now());
+}
+
 void
 System::issueAt(Tick when, MemRequest req,
                 std::function<void(Tick)> on_accept)
 {
     if (when > eq.now()) {
-        eq.schedule(when, [this, req, on_accept] {
-            issueAt(eq.now(), req, on_accept);
-        });
+        const std::uint32_t s =
+            parkIssue(std::move(req), std::move(on_accept));
+        eq.schedule(when, [this, s] { retryIssue(s); });
         return;
     }
     if (!mem.enqueue(req)) {
-        eq.scheduleAfter(retryDelay, [this, req, on_accept] {
-            issueAt(eq.now(), req, on_accept);
-        });
+        const std::uint32_t s =
+            parkIssue(std::move(req), std::move(on_accept));
+        eq.scheduleAfter(retryDelay, [this, s] { retryIssue(s); });
         return;
     }
     if (on_accept)
         on_accept(eq.now());
+}
+
+void
+System::vlewBlockDone(std::uint32_t v, Tick t)
+{
+    VlewFetch &f = vlewFetches[v];
+    if (--f.remaining != 0)
+        return;
+    if (f.onComplete) {
+        const Tick done = t + f.decodeLat;
+        eq.schedule(done, [this, v, done] {
+            auto cb = std::move(vlewFetches[v].onComplete);
+            vlewFetches[v].next = freeVlewFetch;
+            freeVlewFetch = v;
+            cb(done);
+        });
+        return;
+    }
+    f.next = freeVlewFetch;
+    freeVlewFetch = v;
 }
 
 void
@@ -80,31 +134,34 @@ System::launchVlewFetch(Addr addr, Tick when,
     const Addr base = addr / (blocks_per_vlew * blockBytes) *
                       (blocks_per_vlew * blockBytes);
 
-    auto remaining = std::make_shared<unsigned>(blocks);
-    const Tick decode_lat = cfg.scheme.vlewDecodeLatency;
+    // The join counter and the decode callback live in a pooled slot;
+    // each block read only captures the slot index.
+    std::uint32_t v;
+    if (freeVlewFetch != noSlot) {
+        v = freeVlewFetch;
+        freeVlewFetch = vlewFetches[v].next;
+    } else {
+        v = static_cast<std::uint32_t>(vlewFetches.size());
+        vlewFetches.emplace_back();
+    }
+    vlewFetches[v].remaining = blocks;
+    vlewFetches[v].decodeLat = cfg.scheme.vlewDecodeLatency;
+    vlewFetches[v].onComplete = std::move(on_complete);
+
     for (unsigned b = 0; b < blocks; ++b) {
         MemRequest rd;
         rd.addr = base + static_cast<Addr>(b) * blockBytes;
         rd.op = MemOp::Read;
         rd.isPm = true;
         rd.isOverhead = true;
-        rd.onComplete = [this, remaining, decode_lat,
-                         on_complete](Tick t) {
-            if (--*remaining == 0 && on_complete) {
-                eq.schedule(t + decode_lat, [on_complete, t,
-                                             decode_lat] {
-                    on_complete(t + decode_lat);
-                });
-            }
-        };
+        rd.onComplete = [this, v](Tick t) { vlewBlockDone(v, t); };
         issueAt(when, rd);
     }
 }
 
 bool
 System::access(unsigned core, Addr addr, bool is_write, bool is_pm,
-               Tick when, Cycle *latency_cycles,
-               std::function<void(Tick)> on_complete)
+               Tick when, Cycle *latency_cycles, Core &requester)
 {
     const HitLevel level = hierarchy.access(core, addr, is_write, is_pm);
     if (level == HitLevel::L1) {
@@ -116,6 +173,12 @@ System::access(unsigned core, Addr addr, bool is_write, bool is_pm,
         return true;
     }
 
+    // Off-chip: the data return resumes the requester directly. A
+    // one-pointer callback stays inside std::function's small-buffer
+    // storage, so the demand path allocates nothing.
+    Core *rp = &requester;
+    auto on_complete = [rp](Tick t) { rp->memComplete(t); };
+
     if (is_write) {
         // Write-allocate: the store occupies a miss-window slot until
         // the fill read returns, but the core does not wait for the
@@ -124,7 +187,7 @@ System::access(unsigned core, Addr addr, bool is_write, bool is_pm,
         fill.addr = addr;
         fill.op = MemOp::Read;
         fill.isPm = is_pm;
-        fill.onComplete = std::move(on_complete);
+        fill.onComplete = on_complete;
         issueAt(when, fill);
         return false;
     }
@@ -135,7 +198,7 @@ System::access(unsigned core, Addr addr, bool is_write, bool is_pm,
     if (is_pm && cfg.scheme.vlewFetchProb > 0.0 &&
         rng.chance(cfg.scheme.vlewFetchProb)) {
         sysStats.vlewFetches.inc();
-        launchVlewFetch(addr, when, std::move(on_complete));
+        launchVlewFetch(addr, when, on_complete);
         return false;
     }
 
@@ -143,7 +206,7 @@ System::access(unsigned core, Addr addr, bool is_write, bool is_pm,
     rd.addr = addr;
     rd.op = MemOp::Read;
     rd.isPm = is_pm;
-    rd.onComplete = std::move(on_complete);
+    rd.onComplete = on_complete;
     issueAt(when, rd);
     return false;
 }
@@ -187,22 +250,24 @@ System::writeBlock(Addr addr, bool is_pm, bool omv_hit)
                   (cfg.scheme.fetchOldOnOmvMiss && !omv_hit));
     if (fetch_old) {
         // The processor must read and correct the old data before it
-        // can send the XOR-sum write (Section IV-B).
+        // can send the XOR-sum write (Section IV-B). The deferred write
+        // parks in a pooled slot; the read's completion chains to it by
+        // index instead of dragging the request through two closures.
         sysStats.oldDataFetches.inc();
+        const std::uint32_t s =
+            parkIssue(std::move(wr), std::move(on_accept));
         MemRequest rd;
         rd.addr = addr;
         rd.op = MemOp::Read;
         rd.isPm = true;
         rd.isOverhead = true;
-        rd.onComplete = [this, wr, on_accept](Tick t) {
-            eq.schedule(t, [this, wr, on_accept] {
-                issueAt(eq.now(), wr, on_accept);
-            });
+        rd.onComplete = [this, s](Tick t) {
+            eq.schedule(t, [this, s] { retryIssue(s); });
         };
         issueAt(when, rd);
         return;
     }
-    issueAt(when, wr, on_accept);
+    issueAt(when, std::move(wr), std::move(on_accept));
 }
 
 bool
@@ -212,15 +277,16 @@ System::persistsPending(unsigned core) const
 }
 
 void
-System::onPersistDrain(unsigned core, std::function<void(Tick)> resume)
+System::onPersistDrain(unsigned core, Core &requester)
 {
     NVCK_ASSERT(!drainWaiters.at(core), "double fence wait");
     if (persistsInFlight[core] == 0) {
         const Tick now = eq.now();
-        eq.schedule(now, [resume, now] { resume(now); });
+        Core *rp = &requester;
+        eq.schedule(now, [rp, now] { rp->fenceResume(now); });
         return;
     }
-    drainWaiters[core] = std::move(resume);
+    drainWaiters[core] = &requester;
 }
 
 void
@@ -241,9 +307,9 @@ System::persistDone(unsigned core, Tick when)
         return;
     }
     if (--persistsInFlight[core] == 0 && drainWaiters[core]) {
-        auto waiter = std::move(drainWaiters[core]);
+        Core *waiter = drainWaiters[core];
         drainWaiters[core] = nullptr;
-        waiter(when);
+        waiter->fenceResume(when);
     }
 }
 

@@ -11,6 +11,7 @@
 #ifndef NVCK_SIM_SYSTEM_HH
 #define NVCK_SIM_SYSTEM_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -75,11 +76,10 @@ class System : public CoreContext, public MemSink
     // CoreContext interface ------------------------------------------
     bool access(unsigned core, Addr addr, bool is_write, bool is_pm,
                 Tick when, Cycle *latency_cycles,
-                std::function<void(Tick)> on_complete) override;
+                Core &requester) override;
     void clean(unsigned core, Addr addr, bool is_pm, Tick when) override;
     bool persistsPending(unsigned core) const override;
-    void onPersistDrain(unsigned core,
-                        std::function<void(Tick)> resume) override;
+    void onPersistDrain(unsigned core, Core &requester) override;
 
     // MemSink interface ----------------------------------------------
     void writeBlock(Addr addr, bool is_pm, bool omv_hit) override;
@@ -95,6 +95,8 @@ class System : public CoreContext, public MemSink
     Workload &workload() { return *bench; }
     const SystemStats &stats() const { return sysStats; }
     const SystemConfig &config() const { return cfg; }
+    /** The system's event queue (kernel identity, per-queue counters). */
+    const EventQueue &events() const { return eq; }
 
     /** Persist acks still owed to writes orphaned by a power cut. */
     std::size_t pendingStaleAcks() const { return stalePersistAcks; }
@@ -118,15 +120,48 @@ class System : public CoreContext, public MemSink
     friend class SystemTestPeer;
 
     /**
+     * A parked controller transaction: a request waiting for its issue
+     * time or retrying a full queue. The request and its acceptance
+     * callback live in this pooled slot so the retry events capture
+     * only {this, slot index} — small enough for the event queue's
+     * InlineAction, and recycled without heap traffic. Slots survive a
+     * power cut exactly like the retry events that reference them, so
+     * stranded chains still complete against the rebooted machine.
+     */
+    struct IssueSlot
+    {
+        MemRequest req;
+        std::function<void(Tick)> onAccept;
+        std::uint32_t next = 0; //!< free-list link
+    };
+
+    /** One in-flight VLEW over-fetch's join state (pooled like above). */
+    struct VlewFetch
+    {
+        unsigned remaining = 0;
+        Tick decodeLat = 0;
+        std::function<void(Tick)> onComplete;
+        std::uint32_t next = 0; //!< free-list link
+    };
+
+    static constexpr std::uint32_t noSlot = UINT32_MAX;
+
+    /**
      * Enqueue a controller transaction at time >= when; @p on_accept
      * fires when the controller admits the request (ADR persistence
      * domain: an accepted PM write is durable).
      */
     void issueAt(Tick when, MemRequest req,
                  std::function<void(Tick)> on_accept = nullptr);
+    std::uint32_t parkIssue(MemRequest req,
+                            std::function<void(Tick)> on_accept);
+    /** Try to enqueue slot @p s now; reschedules itself on a full
+     *  queue, frees the slot and fires onAccept on admission. */
+    void retryIssue(std::uint32_t s);
     /** Launch the VLEW over-fetch for a rejected RS correction. */
     void launchVlewFetch(Addr addr, Tick when,
                          std::function<void(Tick)> on_complete);
+    void vlewBlockDone(std::uint32_t v, Tick t);
     void persistIssued(unsigned core);
     void persistDone(unsigned core, Tick when);
 
@@ -144,9 +179,15 @@ class System : public CoreContext, public MemSink
     /** Issue time of the clean currently executing. */
     Tick cleaningWhen = 0;
     std::vector<unsigned> persistsInFlight;
-    std::vector<std::function<void(Tick)>> drainWaiters;
+    /** Per-core fenced waiter; resumed via Core::fenceResume(). */
+    std::vector<Core *> drainWaiters;
     /** Persist acks owed to writes orphaned by a power cut. */
     std::size_t stalePersistAcks = 0;
+
+    std::vector<IssueSlot> issueSlots;
+    std::uint32_t freeIssueSlot = noSlot;
+    std::vector<VlewFetch> vlewFetches;
+    std::uint32_t freeVlewFetch = noSlot;
 };
 
 } // namespace nvck

@@ -47,19 +47,20 @@ class FakeContext : public CoreContext
     bool persistBusy = false;
     unsigned memReads = 0;
     unsigned cleans = 0;
-    std::function<void(Tick)> drainWaiter;
+    Core *drainWaiter = nullptr;
 
     bool
     access(unsigned, Addr, bool is_write, bool, Tick when,
-           Cycle *latency_cycles, std::function<void(Tick)> cb) override
+           Cycle *latency_cycles, Core &requester) override
     {
         if (is_write) {
             *latency_cycles = localLatency;
             return true;
         }
         ++memReads;
+        Core *rp = &requester;
         const Tick done = std::max(when, eq->now()) + memLatency;
-        eq->schedule(done, [cb, done] { cb(done); });
+        eq->schedule(done, [rp, done] { rp->memComplete(done); });
         return false;
     }
 
@@ -68,9 +69,9 @@ class FakeContext : public CoreContext
     bool persistsPending(unsigned) const override { return persistBusy; }
 
     void
-    onPersistDrain(unsigned, std::function<void(Tick)> resume) override
+    onPersistDrain(unsigned, Core &requester) override
     {
-        drainWaiter = std::move(resume);
+        drainWaiter = &requester;
     }
 };
 
@@ -166,12 +167,12 @@ TEST(Core, FenceWaitsForPersistDrain)
     eq.runUntil(nsToTicks(1000));
     // Stalled at the fence: the load has not issued.
     EXPECT_EQ(ctx.memReads, 0u);
-    ASSERT_TRUE(static_cast<bool>(ctx.drainWaiter));
+    ASSERT_NE(ctx.drainWaiter, nullptr);
 
     // Drain at 2us: the core resumes and issues the load.
     ctx.persistBusy = false;
     eq.schedule(nsToTicks(2000), [&ctx] {
-        ctx.drainWaiter(nsToTicks(2000));
+        ctx.drainWaiter->fenceResume(nsToTicks(2000));
     });
     eq.runUntil(nsToTicks(3000));
     EXPECT_EQ(ctx.memReads, 1u);
