@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fault-lifecycle campaign for the online RAS engine: every trial
+ * boots a complete System over a mirrored bit-accurate rank, runs a
+ * persistent workload while a multi-phase fault stream (transient
+ * flips -> intermittent victim-chip flips -> progressive stuck-at
+ * cells -> full chip kill) lands on the media, and checks that the
+ * patrol scrubber + health ledger detect the kill and migrate the
+ * rank to degraded mode live — no silent data corruption, no lost
+ * durable write, failover engaged within a bounded number of demand
+ * accesses, and transient-only trials never failing over.
+ *
+ * Knobs (strict parse, common/env.hh):
+ *   NVCK_RAS_TRIALS     trials across all (tech x fault plan) cells
+ *                       (default 6000)
+ *   NVCK_RAS_PATROL     patrol cycle period in ns
+ *   NVCK_RAS_THRESHOLD  chip-kill bucket threshold
+ *   NVCK_RAS_DECAY      ledger decay interval in ns
+ *   NVCK_CAMPAIGN_JSON  also write the shared report there as JSON
+ *
+ * Exit status is non-zero when any invariant was violated; `--seed N`
+ * replays a CI failure verbatim and `--jobs N` never changes the
+ * bytes.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/env.hh"
+#include "sim/ras.hh"
+
+using namespace nvck;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = SweepOptions::parse(argc, argv);
+    banner("RAS lifecycle campaign",
+           "patrol scrub, health ledger, and live degraded failover");
+
+    RasCampaignConfig cfg;
+    if (const auto trials = envPositive("NVCK_RAS_TRIALS"))
+        cfg.trials = *trials;
+    cfg.trial.ras = RasConfig::fromEnv();
+
+    const RasTotals totals = rasCampaign(std::cout, opts, cfg);
+
+    const RasTally sum = totals.total();
+    CampaignReport report;
+    report.name = "ras-lifecycle-campaign";
+    report.seed = opts.seedSet ? opts.seed : cfg.seed;
+    report.trials = sum.trials;
+    report.violations = totals.violations();
+    report.counters = {{"patrol_bursts", sum.patrolBursts},
+                       {"patrol_yields", sum.patrolYields},
+                       {"scrub_bits", sum.scrubBits},
+                       {"row_alarms", sum.rowAlarms},
+                       {"targeted_scrubs", sum.targetedScrubs},
+                       {"kills", sum.kills},
+                       {"failovers", sum.failovers},
+                       {"migrated_blocks", sum.migrated},
+                       {"degraded_reads", sum.degradedReads},
+                       {"degraded_writes", sum.degradedWrites},
+                       {"drained_at_failover", sum.drainedAtFailover},
+                       {"detect_accesses_max", sum.detectAccessesMax},
+                       {"sdc", sum.sdc},
+                       {"lost_durable", sum.lostDurable},
+                       {"reported_ue", sum.ue},
+                       {"false_kills", sum.falseKills},
+                       {"missed_failovers", sum.missedFailovers},
+                       {"engage_overruns", sum.engageOverruns}};
+    if (const char *path = std::getenv("NVCK_CAMPAIGN_JSON")) {
+        std::ofstream json(path);
+        campaignJson(json, report);
+    }
+    return campaignVerdict(std::cout, report);
+}

@@ -17,11 +17,17 @@ Usage:
   check_bench.py --baseline bench/baselines/BENCH_x.json \
                  --current BENCH_x.json [--max-regress 2.0]
 
-Exit codes: 0 ok, 1 regression found, 2 bad invocation/input.
+A missing baseline file is not an error: new benches land before
+their baseline is recorded, so the gate warns and skips (exit 0)
+instead of failing the job. Corrupt or malformed files still exit 2.
+
+Exit codes: 0 ok (or baseline missing), 1 regression found,
+2 bad invocation/input.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -60,6 +66,12 @@ def main():
     args = parser.parse_args()
     if args.max_regress <= 0:
         parser.error("--max-regress must be positive")
+
+    if not os.path.exists(args.baseline):
+        print(f"check_bench: baseline {args.baseline} not found; "
+              f"skipping the gate (record one to arm it)",
+              file=sys.stderr)
+        sys.exit(0)
 
     base_name, base = load_results(args.baseline)
     cur_name, cur = load_results(args.current)

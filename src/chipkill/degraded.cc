@@ -226,6 +226,24 @@ DegradedRank::isPoisoned(unsigned block) const
     return poisonedVlew.at(block / blocksPerVlew());
 }
 
+void
+DegradedRank::poisonSpan(unsigned vlew)
+{
+    NVCK_ASSERT(vlew < numVlews, "span out of range");
+    if (poisonedVlew[vlew])
+        return;
+    std::memset(
+        &store[static_cast<std::size_t>(vlew) * geom.vlewDataBytes], 0,
+        geom.vlewDataBytes);
+    std::memset(
+        &golden[static_cast<std::size_t>(vlew) * geom.vlewDataBytes],
+        0, geom.vlewDataBytes);
+    codeStore[vlew] = BitVec(vlewCodec.r());
+    goldenCode[vlew] = codeStore[vlew];
+    poisonedVlew[vlew] = true;
+    recCounters.count(RecoveryOutcome::DetectedUE);
+}
+
 DegradedSnapshot
 DegradedRank::snapshot() const
 {

@@ -119,6 +119,15 @@ class DegradedRank
     /** Whether @p block sits in a span scrub() declared lost. */
     bool isPoisoned(unsigned block) const;
 
+    /**
+     * Declare striped VLEW @p vlew lost: zero its data and code and
+     * mark it a reported UE, exactly as scrub() does for spans it
+     * cannot decode. Used by the online failover when a source block
+     * was already a standing UE on the healthy rank — the loss is
+     * carried over explicitly rather than migrated as garbage.
+     */
+    void poisonSpan(unsigned vlew);
+
     /** Capture / reinstate the persistent image. */
     DegradedSnapshot snapshot() const;
     void restore(const DegradedSnapshot &snap);

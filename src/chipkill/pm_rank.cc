@@ -483,6 +483,13 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
         result.dataCorrect = std::memcmp(out, golden, blockBytes) == 0;
     };
 
+    // RS symbol position -> owning chip (check bytes lead the word).
+    auto chipOfSymbol = [&](std::uint32_t pos) {
+        return pos < geom.rsCheckBytes
+                   ? dataChips
+                   : (pos - geom.rsCheckBytes) / chipBeatBytes;
+    };
+
     // Step 1: opportunistic per-block RS correction (Fig 9 top).
     std::vector<GfElem> word = assembleRsWord(block);
     const auto rs_res = rsCodec.decode(word, {}, /*max_errors=*/-1);
@@ -497,6 +504,9 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
         result.path = ReadPath::RsAccepted;
         result.outcome = RecoveryOutcome::Corrected;
         result.rsCorrections = rs_res.corrections;
+        for (const std::uint32_t pos : rs_res.positions)
+            result.chipCorrectionMask |= static_cast<std::uint16_t>(
+                1u << chipOfSymbol(pos));
         recCounters.count(result.outcome);
         emit(word);
         return result;
@@ -517,6 +527,8 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
         const int corrected = correctVlew(chip, vlew);
         if (corrected < 0) {
             // Whole-chip fault: erase its beat for RS.
+            result.chipErasureMask |=
+                static_cast<std::uint16_t>(1u << chip);
             if (chip == dataChips) {
                 for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
                     erasures.push_back(b);
@@ -525,7 +537,9 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
                     erasures.push_back(geom.rsCheckBytes +
                                        chip * chipBeatBytes + b);
             }
-        } else {
+        } else if (corrected > 0) {
+            result.chipCorrectionMask |=
+                static_cast<std::uint16_t>(1u << chip);
             result.vlewBitCorrections +=
                 static_cast<unsigned>(corrected);
         }
@@ -550,6 +564,14 @@ PmRank::readBlock(unsigned block, std::uint8_t *out, unsigned threshold)
                                  : RecoveryOutcome::FellBackToVlew;
     recCounters.count(result.outcome);
     result.rsCorrections = rs2.corrections;
+    // Residual (non-erasure) symbol fixes from the bounded decode are
+    // corrections too; erasure fills are already attributed above.
+    for (const std::uint32_t pos : rs2.positions) {
+        const unsigned chip = chipOfSymbol(pos);
+        if (!(result.chipErasureMask & (1u << chip)))
+            result.chipCorrectionMask |=
+                static_cast<std::uint16_t>(1u << chip);
+    }
     emit(word2);
     return result;
 }

@@ -67,6 +67,17 @@ struct BlockReadResult
     unsigned rsCorrections = 0;
     unsigned vlewBitCorrections = 0;
     bool dataCorrect = false; //!< matches the golden copy
+    /**
+     * Per-chip attribution of the corrections (bit c = chip c, bit
+     * chips()-1 = the parity chip): which chips had symbols or bits
+     * corrected, and which chips' VLEWs were uncorrectable and had to
+     * be erasure-rebuilt. The runtime RAS engine's health ledger is
+     * fed from exactly these masks — a real decoder knows the
+     * corrected symbol positions, so per-chip accounting costs
+     * nothing extra.
+     */
+    std::uint16_t chipCorrectionMask = 0;
+    std::uint16_t chipErasureMask = 0;
 };
 
 /** Outcome of a boot-time scrub. */

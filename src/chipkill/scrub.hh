@@ -112,6 +112,18 @@ class ScrubEngine
     static ScrubSweepStats
     tally(const std::vector<ScrubWordResult> &outcomes);
 
+    /**
+     * Scrub a single (chip, VLEW) word of @p rank in place — the
+     * patrol-scrub granule of the runtime RAS engine (sim/ras.hh).
+     * Same residue-classify + fast-decode pipeline as the batched
+     * sweep, minus the fan-out.
+     */
+    ScrubWordResult
+    scrubWord(PmRank &rank, unsigned chip, unsigned vlew) const
+    {
+        return scrubPmWord(rank, chip, vlew);
+    }
+
   private:
     /** Residue-classify + fast-decode one (chip, vlew) word. */
     ScrubWordResult scrubPmWord(PmRank &rank, unsigned chip,

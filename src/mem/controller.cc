@@ -241,7 +241,10 @@ MemController::issue(Queued q)
             eur.recordWrite(pm_bank, q.vlewSlot);
             // The data burst is on the media; the code-bit delta now
             // exists only in the (volatile) EUR until the row closes.
-            if (crashHooks.onPmWrite)
+            // Overhead writes (RAS migration traffic) dirty the EUR
+            // like any other write but carry no new persist intent, so
+            // the crash mirror is not told about them.
+            if (!q.req.isOverhead && crashHooks.onPmWrite)
                 crashHooks.onPmWrite(q.req.addr, pm_bank, q.vlewSlot);
         }
     }
@@ -249,7 +252,13 @@ MemController::issue(Queued q)
     bank.readyAt = finish;
     bank.lastUse = finish;
 
+    if (is_read && q.req.isPm && crashHooks.onPmRead)
+        crashHooks.onPmRead(q.req.addr, q.req.isPatrol,
+                            q.req.isOverhead);
+
     // Statistics.
+    if (q.req.isPatrol)
+        statistics.patrolReads.inc();
     if (q.req.isOverhead) {
         (is_read ? statistics.overheadReads : statistics.overheadWrites)
             .inc();
@@ -369,6 +378,30 @@ void
 MemController::setCrashHooks(CrashHooks hooks)
 {
     crashHooks = std::move(hooks);
+}
+
+unsigned
+MemController::drainPmEur()
+{
+    unsigned drained = 0;
+    const Tick now = eq.now();
+    for (unsigned b = 0; b < cfg.pm.banks; ++b) {
+        const unsigned rank_bank = cfg.dram.banks + b;
+        BankState &bank = banks[rank_bank];
+        if (bank.openRow < 0) {
+            NVCK_ASSERT(!cfg.eurEnabled ||
+                            eur.pendingRegisters(b) == 0,
+                        "EUR dirty with no open row");
+            continue;
+        }
+        const std::uint64_t before = eur.codeWrites();
+        const Tick drain = closeRow(rank_bank, bank);
+        drained += static_cast<unsigned>(eur.codeWrites() - before);
+        bank.readyAt = std::max(bank.readyAt, now) + drain +
+                       cfg.pm.tRP;
+        bank.lastUse = bank.readyAt;
+    }
+    return drained;
 }
 
 std::vector<Addr>

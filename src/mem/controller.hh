@@ -74,12 +74,23 @@ struct MemControllerConfig
 struct CrashHooks
 {
     /** A PM write's data burst completed; code delta is now EUR-held.
-     *  Arguments: block address, bank, VLEW slot within the row. */
+     *  Arguments: block address, bank, VLEW slot within the row.
+     *  Fires for demand PM writes only: overhead maintenance writes
+     *  (e.g. RAS migration traffic) model bandwidth, not new data. */
     std::function<void(Addr, unsigned, unsigned)> onPmWrite;
     /** One EUR register retired during a drain (bank, slot). */
     std::function<void(unsigned, unsigned)> onEurDrain;
     /** A PM row-close drain is starting (bank). */
     std::function<void(unsigned)> onRowClose;
+    /**
+     * A PM read issued (block address, patrol flag, overhead flag).
+     * The RAS mirror runs the bit-level read path here — demand reads
+     * feed the health ledger, patrol reads are checked by the engine's
+     * own completion callbacks. Fired after the bank state for the
+     * access is fully settled; the callback must not re-enter the
+     * controller synchronously (schedule an event instead).
+     */
+    std::function<void(Addr, bool, bool)> onPmRead;
 };
 
 /** What a power cut found in flight (volatile state disposition). */
@@ -100,6 +111,7 @@ struct MemControllerStats
     Counter dramReads, dramWrites;
     Counter pmReads, pmWrites;
     Counter overheadReads, overheadWrites;
+    Counter patrolReads; //!< RAS patrol-scrub reads (also overhead)
     Counter rowHits, rowMisses, rowConflicts;
     Counter coalescedWrites;
     Average readLatency;  //!< enqueue-to-data, ns
@@ -163,6 +175,18 @@ class MemController
 
     /** EUR state, for crash injectors sampling pending registers. */
     const EurModel &eurState() const { return eur; }
+
+    /**
+     * Synchronously close every open PM row, draining all pending EUR
+     * registers through the usual row-close path (CrashHooks fire for
+     * each retiring register). The failover half of the RAS engine
+     * calls this before migrating a rank to degraded mode so that no
+     * coalesced code-bit delta is still in flight when the per-chip
+     * VLEW layout is abandoned. Bank ready times absorb the drain and
+     * precharge penalties. Returns the number of registers drained.
+     * Must not be called from inside a controller callback.
+     */
+    unsigned drainPmEur();
 
     /**
      * Block addresses of the PM writes currently queued, in queue

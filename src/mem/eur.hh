@@ -74,6 +74,16 @@ class EurModel
     /** Dirty registers currently pending for @p bank. */
     unsigned pendingRegisters(unsigned bank) const;
 
+    /** Dirty registers currently pending across all banks. */
+    unsigned
+    pendingTotal() const
+    {
+        unsigned total = 0;
+        for (const std::uint64_t mask : dirtyMask)
+            total += static_cast<unsigned>(std::popcount(mask));
+        return total;
+    }
+
     /** Raw dirty-slot bitmask for @p bank (bit i = VLEW slot i). */
     std::uint64_t pendingMask(unsigned bank) const;
 

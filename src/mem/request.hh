@@ -29,6 +29,12 @@ struct MemRequest
      * rather than demand traffic; tracked separately in statistics.
      */
     bool isOverhead = false;
+    /**
+     * Patrol-scrub read issued by the RAS engine (sim/ras.hh): counted
+     * as overhead and reported back through CrashHooks::onPmRead so the
+     * bit-level mirror can run the scrub check at completion time.
+     */
+    bool isPatrol = false;
     /** Invoked at transaction completion time. */
     std::function<void(Tick finish)> onComplete;
 };

@@ -1,0 +1,1119 @@
+#include "ras.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+
+namespace nvck {
+
+// RasConfig -----------------------------------------------------------
+
+RasConfig
+RasConfig::fromEnv()
+{
+    RasConfig cfg;
+    if (const auto v = envPositive("NVCK_RAS_PATROL"))
+        cfg.patrolInterval = nsToTicks(static_cast<double>(*v));
+    if (const auto v = envPositive("NVCK_RAS_THRESHOLD"))
+        cfg.killThreshold = *v;
+    if (const auto v = envPositive("NVCK_RAS_DECAY"))
+        cfg.decayInterval = nsToTicks(static_cast<double>(*v));
+    return cfg;
+}
+
+// HealthLedger --------------------------------------------------------
+
+HealthLedger::HealthLedger(unsigned chips, unsigned rows,
+                           const RasConfig &cfg)
+    : decayInterval(cfg.decayInterval), decayStep(cfg.decayStep),
+      chipBuckets(chips), rowBuckets(rows)
+{
+    NVCK_ASSERT(decayInterval > 0, "ledger needs a decay interval");
+}
+
+std::uint64_t
+HealthLedger::decayed(const Bucket &b, Tick now) const
+{
+    if (now <= b.lastLeak || b.level == 0 || decayStep == 0)
+        return b.level;
+    const std::uint64_t intervals = (now - b.lastLeak) / decayInterval;
+    // Integer leak with an overflow-proof full-drain test.
+    if (intervals >= (b.level + decayStep - 1) / decayStep)
+        return 0;
+    return b.level - intervals * decayStep;
+}
+
+std::uint64_t
+HealthLedger::record(Bucket &b, std::uint64_t weight, Tick now)
+{
+    NVCK_ASSERT(now >= b.lastLeak, "ledger time ran backwards");
+    b.level = decayed(b, now);
+    b.lastLeak += ((now - b.lastLeak) / decayInterval) * decayInterval;
+    b.level += weight;
+    return b.level;
+}
+
+std::uint64_t
+HealthLedger::recordChip(unsigned chip, std::uint64_t weight, Tick now)
+{
+    return record(chipBuckets.at(chip), weight, now);
+}
+
+std::uint64_t
+HealthLedger::recordRow(unsigned row, std::uint64_t weight, Tick now)
+{
+    return record(rowBuckets.at(row), weight, now);
+}
+
+std::uint64_t
+HealthLedger::chipLevel(unsigned chip, Tick now) const
+{
+    return decayed(chipBuckets.at(chip), now);
+}
+
+std::uint64_t
+HealthLedger::rowLevel(unsigned row, Tick now) const
+{
+    return decayed(rowBuckets.at(row), now);
+}
+
+void
+HealthLedger::resetRow(unsigned row)
+{
+    rowBuckets.at(row).level = 0;
+}
+
+// RasEngine -----------------------------------------------------------
+
+const char *
+rasStateName(RasState state)
+{
+    switch (state) {
+      case RasState::Healthy:
+        return "healthy";
+      case RasState::Draining:
+        return "draining";
+      case RasState::Migrating:
+        return "migrating";
+      case RasState::Degraded:
+        return "degraded";
+      case RasState::Unrecoverable:
+        return "unrecoverable";
+    }
+    return "?";
+}
+
+RasEngine::RasEngine(System &system, const RasConfig &config,
+                     unsigned rank_blocks, unsigned span_blocks,
+                     Callbacks callbacks)
+    : sys(system), cfg(config), cb(std::move(callbacks)),
+      rankBlocks(rank_blocks), spanBlocks(span_blocks),
+      spans(rank_blocks / span_blocks),
+      // One bucket per lockstep chip (8 data + parity), one per span.
+      healthLedger(9, rank_blocks / span_blocks, config)
+{
+    NVCK_ASSERT(spanBlocks > 0 && rankBlocks % spanBlocks == 0,
+                "rank must hold whole patrol spans");
+    NVCK_ASSERT(cfg.patrolInterval > 0 && cfg.migrateStepInterval > 0,
+                "RAS intervals must be positive");
+    patrolEv = sys.events().makeRecurring([this] { patrolTick(); });
+    migrateEv = sys.events().makeRecurring([this] { migrateTick(); });
+    scratch.reserve(16);
+}
+
+void
+RasEngine::start()
+{
+    sys.events().rearm(patrolEv, sys.now() + cfg.patrolInterval);
+}
+
+void
+RasEngine::patrolTick()
+{
+    if (st != RasState::Healthy)
+        return; // failover owns the rank now; stop rearming
+    sys.events().rearm(patrolEv, sys.now() + cfg.patrolInterval);
+    if (sys.memory().readQueueSize() != 0) {
+        // Yield the cycle to demand reads (bounded-bandwidth patrol).
+        ++rasStats.patrolYields;
+        return;
+    }
+    if (issueBurst(patrolCursor % spans, false))
+        ++patrolCursor;
+}
+
+bool
+RasEngine::issueBurst(unsigned span, bool targeted)
+{
+    NVCK_ASSERT(span < spans, "patrol span out of range");
+    const unsigned reads = std::min(cfg.patrolReads, spanBlocks);
+    NVCK_ASSERT(reads > 0, "patrol burst needs at least one read");
+    const unsigned stride = spanBlocks / reads;
+
+    std::uint32_t j;
+    if (freeJoin != noJoin) {
+        j = freeJoin;
+        freeJoin = joins[j].next;
+    } else {
+        j = static_cast<std::uint32_t>(joins.size());
+        joins.emplace_back();
+    }
+    joins[j].remaining = 0;
+    joins[j].span = span;
+
+    const Addr pm_base = sys.config().space.pmBase;
+    for (unsigned i = 0; i < reads; ++i) {
+        const Addr addr =
+            pm_base + (static_cast<Addr>(span) * spanBlocks +
+                       static_cast<Addr>(i) * stride) *
+                          blockBytes;
+        MemRequest req;
+        req.addr = addr;
+        req.op = MemOp::Read;
+        req.isPm = true;
+        req.isOverhead = true;
+        req.isPatrol = true;
+        req.onComplete = [this, j](Tick) { patrolReadDone(j); };
+        if (!sys.memory().canAccept(MemOp::Read) ||
+            !sys.memory().enqueue(std::move(req)))
+            break;
+        ++joins[j].remaining;
+    }
+
+    if (joins[j].remaining == 0) {
+        joins[j].next = freeJoin;
+        freeJoin = j;
+        return false;
+    }
+    ++joinsLive;
+    if (targeted)
+        ++rasStats.targetedScrubs;
+    else
+        ++rasStats.patrolBursts;
+    return true;
+}
+
+void
+RasEngine::patrolReadDone(std::uint32_t join)
+{
+    PatrolJoin &pj = joins[join];
+    NVCK_ASSERT(pj.remaining > 0, "patrol join underflow");
+    if (--pj.remaining > 0)
+        return;
+    const unsigned span = pj.span;
+    pj.next = freeJoin;
+    freeJoin = join;
+    --joinsLive;
+    patrolComplete(span);
+}
+
+void
+RasEngine::patrolComplete(unsigned span)
+{
+    if (st != RasState::Healthy) {
+        // The burst was in flight when the kill landed; its spans now
+        // belong to the failover path, so the check is dropped.
+        ++rasStats.patrolDropped;
+        return;
+    }
+    NVCK_ASSERT(static_cast<bool>(cb.patrolCheck),
+                "patrol completion without a check callback");
+    cb.patrolCheck(span, scratch);
+    rasStats.scrubWords += scratch.size();
+    for (unsigned c = 0; c < scratch.size(); ++c) {
+        const int corr = scratch[c];
+        if (corr < 0) {
+            ++rasStats.scrubErasures;
+            noteChipErrors(c, cfg.erasureWeight);
+        } else if (corr > 0) {
+            rasStats.scrubBitsFound += static_cast<unsigned>(corr);
+            noteChipErrors(c, static_cast<std::uint64_t>(corr));
+        }
+    }
+}
+
+void
+RasEngine::noteChipErrors(unsigned chip, std::uint64_t weight)
+{
+    ++rasStats.ledgerEvents;
+    switch (st) {
+      case RasState::Healthy: {
+        const std::uint64_t level =
+            healthLedger.recordChip(chip, weight, sys.now());
+        if (level >= cfg.killThreshold && !killQueued) {
+            killQueued = true;
+            killed = chip;
+            accessesAtDetect = accessCount;
+            rasStats.detectedAt = sys.now();
+            // Crossings are observed inside controller callbacks
+            // (onPmRead) and patrol completions; failover re-enters
+            // the controller (drainPmEur), so it runs one event later.
+            sys.events().schedule(sys.now(), [this] { beginFailover(); });
+        }
+        return;
+      }
+      case RasState::Draining:
+        return; // transition already committed
+      case RasState::Migrating:
+      case RasState::Degraded: {
+        if (chip == killed)
+            return; // expected erasure evidence from the dead chip
+        const std::uint64_t level =
+            healthLedger.recordChip(chip, weight, sys.now());
+        if (level >= cfg.killThreshold) {
+            // A second dead chip exceeds the RS budget: report it
+            // instead of failing over again (or asserting).
+            ++rasStats.doubleKills;
+            st = RasState::Unrecoverable;
+            if (cb.onUnrecoverable)
+                cb.onUnrecoverable(chip);
+        }
+        return;
+      }
+      case RasState::Unrecoverable:
+        return;
+    }
+}
+
+void
+RasEngine::noteRowErrors(unsigned row, std::uint64_t weight)
+{
+    if (st != RasState::Healthy)
+        return;
+    const std::uint64_t level =
+        healthLedger.recordRow(row, weight, sys.now());
+    if (level < cfg.rowThreshold)
+        return;
+    ++rasStats.rowAlarms;
+    healthLedger.resetRow(row);
+    if (targetedQueued)
+        return;
+    targetedQueued = true;
+    sys.events().schedule(sys.now(), [this, row] {
+        targetedQueued = false;
+        if (st == RasState::Healthy)
+            issueBurst(row, true);
+    });
+}
+
+void
+RasEngine::beginFailover()
+{
+    if (st != RasState::Healthy)
+        return;
+    st = RasState::Draining;
+    ++rasStats.killsDetected;
+    // Every in-flight coalesced code delta retires through the normal
+    // row-close path before the per-chip VLEW layout is abandoned.
+    rasStats.drainedAtFailover += sys.memory().drainPmEur();
+    if (cb.onFailoverStart)
+        cb.onFailoverStart(killed);
+    st = RasState::Migrating;
+    accessesAtEngage = accessCount;
+    rasStats.engagedAt = sys.now();
+    sys.events().rearm(migrateEv, sys.now() + cfg.migrateStepInterval);
+}
+
+void
+RasEngine::migrateTick()
+{
+    if (st != RasState::Migrating)
+        return;
+    const unsigned before = migrated;
+    unsigned n;
+    if (cb.migrateStep) {
+        n = cb.migrateStep(cfg.migrateBlocksPerStep);
+    } else {
+        n = std::min(cfg.migrateBlocksPerStep, rankBlocks - migrated);
+    }
+    migrated += n;
+    rasStats.migratedBlocks += n;
+
+    // Model the migration's bus cost: a bounded burst of overhead
+    // read+write pairs over the blocks just moved, interleaved with
+    // (and backpressured by) demand traffic.
+    const Addr pm_base = sys.config().space.pmBase;
+    for (unsigned k = 0; k < std::min(n, 4u); ++k) {
+        const Addr addr =
+            pm_base + static_cast<Addr>(before + k) * blockBytes;
+        for (const MemOp op : {MemOp::Read, MemOp::Write}) {
+            MemRequest req;
+            req.addr = addr;
+            req.op = op;
+            req.isPm = true;
+            req.isOverhead = true;
+            req.onComplete = [](Tick) {};
+            if (!sys.memory().canAccept(op) ||
+                !sys.memory().enqueue(std::move(req)))
+                ++rasStats.migrationTrafficDropped;
+        }
+    }
+
+    if (migrated >= rankBlocks) {
+        st = RasState::Degraded;
+        rasStats.completedAt = sys.now();
+        if (cb.onFailoverComplete)
+            cb.onFailoverComplete();
+        return;
+    }
+    sys.events().rearm(migrateEv,
+                       sys.now() + cfg.migrateStepInterval);
+}
+
+// OnlineFailover ------------------------------------------------------
+
+OnlineFailover::OnlineFailover(PmRank &healthy, unsigned failed_chip,
+                               unsigned threshold)
+    : source(healthy), chip(failed_chip), thresh(threshold),
+      target(healthy.blocks())
+{
+    NVCK_ASSERT(failed_chip < healthy.chips(),
+                "failed chip out of range");
+}
+
+unsigned
+OnlineFailover::step(unsigned max_blocks)
+{
+    std::uint8_t buf[blockBytes];
+    unsigned moved = 0;
+    while (moved < max_blocks && cursor < source.blocks()) {
+        const auto read = source.readBlock(cursor, buf, thresh);
+        if (read.path == ReadPath::Failed) {
+            // A standing UE migrates as an explicit reported loss, not
+            // as silent garbage.
+            target.poisonSpan(cursor / target.blocksPerVlew());
+            ++poisoned;
+        } else if (!target.isPoisoned(cursor)) {
+            target.writeBlock(cursor, buf);
+        }
+        ++cursor;
+        ++moved;
+    }
+    return moved;
+}
+
+// RasMirror -----------------------------------------------------------
+
+namespace {
+
+/** Intended new 64B payload: dense rewrite or sparse 1-3 bit update
+ *  (the shape an unmerged VLEW decode could roll back). */
+void
+rasPayload(Rng &rng, const std::uint8_t *old_data, std::uint8_t *out)
+{
+    if (rng.chance(0.5)) {
+        for (unsigned i = 0; i < blockBytes; i += 8) {
+            const std::uint64_t word = rng.next();
+            std::memcpy(out + i, &word, 8);
+        }
+    } else {
+        std::memcpy(out, old_data, blockBytes);
+        const unsigned flips = 1 + static_cast<unsigned>(rng.below(3));
+        for (unsigned f = 0; f < flips; ++f) {
+            const unsigned byte =
+                static_cast<unsigned>(rng.below(blockBytes));
+            out[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+    }
+    if (std::memcmp(out, old_data, blockBytes) == 0)
+        out[0] ^= 1u;
+}
+
+} // namespace
+
+RasMirror::RasMirror(System &system, PmRank &pm_rank, PersistOracle &po,
+                     const RasConfig &ras_cfg, unsigned thresh,
+                     std::uint64_t value_seed)
+    : sys(system), rank(pm_rank), oracle(po), rng(value_seed),
+      rasCfg(ras_cfg), threshold(thresh),
+      spanBlocks(pm_rank.params().vlewDataBytes / chipBeatBytes)
+{
+    const MemControllerConfig &mc = sys.config().mem;
+    NVCK_ASSERT(mc.eurEnabled, "RAS campaign needs the EUR write path");
+    NVCK_ASSERT(sys.config().space.pmBase == 0,
+                "mirrored campaigns place PM at 0");
+    NVCK_ASSERT(rank.blocks() % spanBlocks == 0,
+                "rank must hold whole VLEW spans");
+    const unsigned banks = mc.pm.banks;
+    const unsigned slots =
+        mc.pm.rowBytes / (mc.dataChips * mc.vlewDataBytes);
+    NVCK_ASSERT(banks > 0 && slots > 0, "degenerate PM geometry");
+    pendingSlots.assign(static_cast<std::size_t>(banks) * slots, {});
+    const unsigned spans = rank.blocks() / spanBlocks;
+    spanRegister.assign(spans, UINT32_MAX);
+    spanPending.assign(spans, 0);
+    healthySettled.resize(rank.blocks());
+    for (unsigned b = 0; b < rank.blocks(); ++b)
+        rank.goldenBlock(b, healthySettled[b].data());
+
+    RasEngine::Callbacks cbs;
+    cbs.patrolCheck = [this](unsigned span, std::vector<int> &out) {
+        patrolCheck(span, out);
+    };
+    cbs.migrateStep = [this](unsigned max) { return migrateStep(max); };
+    cbs.onFailoverStart = [this](unsigned chip) {
+        onFailoverStart(chip);
+    };
+    cbs.onFailoverComplete = [this] { completed_ = true; };
+    cbs.onUnrecoverable = [this](unsigned) { unrecoverable_ = true; };
+    eng = std::make_unique<RasEngine>(sys, rasCfg, rank.blocks(),
+                                      spanBlocks, std::move(cbs));
+
+    CrashHooks hooks;
+    hooks.onPmWrite = [this](Addr a, unsigned bank, unsigned slot) {
+        onPmWrite(a, bank, slot);
+    };
+    hooks.onEurDrain = [this](unsigned bank, unsigned slot) {
+        onEurDrain(bank, slot);
+    };
+    hooks.onPmRead = [this](Addr a, bool patrol, bool overhead) {
+        onPmRead(a, patrol, overhead);
+    };
+    sys.memory().setCrashHooks(std::move(hooks));
+}
+
+unsigned
+RasMirror::blockOf(Addr addr) const
+{
+    const AddressSpace &space = sys.config().space;
+    NVCK_ASSERT(addr >= space.pmBase, "PM access below the PM region");
+    const std::uint64_t block = (addr - space.pmBase) / blockBytes;
+    NVCK_ASSERT(block < rank.blocks(),
+                "PM access beyond the mirrored rank");
+    return static_cast<unsigned>(block);
+}
+
+unsigned
+RasMirror::spanOf(unsigned block) const
+{
+    return block / spanBlocks;
+}
+
+void
+RasMirror::makePayload(const std::uint8_t *old_data, std::uint8_t *out)
+{
+    rasPayload(rng, old_data, out);
+}
+
+void
+RasMirror::retireBlock(unsigned block)
+{
+    // Second half of the two-phase write: bring the media code bits
+    // from the last settled image up to the current intent.
+    rank.drainCodeBits(block, healthySettled[block].data());
+    rank.goldenBlock(block, healthySettled[block].data());
+    // A block migrated while still healthy-pending was settled by its
+    // degraded-side copy already; don't settle it twice.
+    if (oracle.pending(block))
+        oracle.recordDrain(block);
+    NVCK_ASSERT(spanPending[spanOf(block)] > 0,
+                "span pending count underflow");
+    --spanPending[spanOf(block)];
+}
+
+void
+RasMirror::retireSpan(unsigned span)
+{
+    if (spanPending[span] == 0)
+        return;
+    ++n.earlyRetires;
+    const std::uint32_t reg = spanRegister[span];
+    NVCK_ASSERT(reg != UINT32_MAX, "pending span with no register");
+    auto &pending = pendingSlots[reg];
+    for (const unsigned b : pending) {
+        NVCK_ASSERT(spanOf(b) == span,
+                    "EUR register coalescing across spans");
+        retireBlock(b);
+    }
+    pending.clear();
+    NVCK_ASSERT(spanPending[span] == 0, "span retire left stragglers");
+}
+
+void
+RasMirror::onPmWrite(Addr addr, unsigned bank, unsigned slot)
+{
+    demandWrite(blockOf(addr), bank, slot);
+}
+
+void
+RasMirror::demandWrite(unsigned block, unsigned bank, unsigned slot)
+{
+    eng->noteAccess();
+    ++n.demandWrites;
+
+    std::uint8_t value[blockBytes];
+    // The controller XORs against the OMV — the latest write intent —
+    // so the new payload chains off the latest pending value.
+    makePayload(oracle.latest(block).data(), value);
+
+    if (failover && block < failover->watermark()) {
+        // Migrated blocks live in the degraded layout; its writes
+        // settle code bits linearly at write time (no RS tier, EUR
+        // drains model timing only).
+        if (failover->degraded().isPoisoned(block)) {
+            // The span is a reported loss; the write is accepted but
+            // the readback stays an explicit UE until repair.
+            ++n.poisonedWriteSkips;
+            oracle.recordBurst(block, value);
+            return;
+        }
+        failover->degraded().writeBlock(block, value);
+        oracle.recordBurst(block, value);
+        oracle.recordDrain(block);
+        ++n.degradedWrites;
+        return;
+    }
+
+    const std::uint16_t full =
+        static_cast<std::uint16_t>((1u << rank.chips()) - 1);
+    rank.applyTornWrite(block, value, full, 0);
+    oracle.recordBurst(block, value);
+
+    const unsigned spans_per_bank =
+        static_cast<unsigned>(pendingSlots.size()) /
+        sys.config().mem.pm.banks;
+    const std::uint32_t reg = bank * spans_per_bank + slot;
+    auto &pending = pendingSlots.at(reg);
+    const unsigned span = spanOf(block);
+    if (pending.empty())
+        spanRegister[span] = reg;
+    else
+        NVCK_ASSERT(spanRegister[span] == reg,
+                    "EUR register moved mid-coalesce");
+    if (std::find(pending.begin(), pending.end(), block) ==
+        pending.end()) {
+        pending.push_back(block);
+        ++spanPending[span];
+    }
+}
+
+void
+RasMirror::onEurDrain(unsigned bank, unsigned slot)
+{
+    const unsigned spans_per_bank =
+        static_cast<unsigned>(pendingSlots.size()) /
+        sys.config().mem.pm.banks;
+    auto &pending = pendingSlots.at(bank * spans_per_bank + slot);
+    // The list may be empty: migration overhead writes dirty the EUR
+    // without mirrored bursts, and early retires (EUR merges before a
+    // VLEW-touching operation) empty it ahead of the row close.
+    for (const unsigned b : pending)
+        retireBlock(b);
+    pending.clear();
+}
+
+void
+RasMirror::onPmRead(Addr addr, bool patrol, bool overhead)
+{
+    if (patrol || overhead)
+        return; // patrol checks run at burst completion; overhead
+                // traffic models bandwidth, not data
+    demandRead(blockOf(addr));
+}
+
+void
+RasMirror::demandRead(unsigned block)
+{
+    eng->noteAccess();
+    ++n.demandReads;
+    std::uint8_t out[blockBytes];
+
+    if (failover && block < failover->watermark()) {
+        ++n.degradedReads;
+        const auto read = failover->degraded().readBlock(block, out);
+        if (read.failed)
+            ++n.ue;
+        else if (!read.dataCorrect)
+            ++n.sdc;
+        return;
+    }
+
+    // Chip-internal EUR merge: a VLEW decoded against stale media code
+    // would "correct" a pending durable write away, so the chip folds
+    // its EUR-held delta in first whenever a read may touch the VLEWs.
+    const unsigned span = spanOf(block);
+    retireSpan(span);
+
+    const auto read = rank.readBlock(block, out, threshold);
+    if (read.path == ReadPath::Failed) {
+        ++n.ue;
+        return;
+    }
+    if (!read.dataCorrect)
+        ++n.sdc;
+    switch (read.path) {
+      case ReadPath::RsAccepted:
+        ++n.rsFixes;
+        break;
+      case ReadPath::VlewFallback:
+        ++n.vlewFallbacks;
+        break;
+      case ReadPath::ChipRecovered:
+        ++n.chipRecovered;
+        break;
+      default:
+        break;
+    }
+
+    for (unsigned c = 0; c < rank.chips(); ++c) {
+        if (read.chipErasureMask & (1u << c))
+            eng->noteChipErrors(c, rasCfg.erasureWeight);
+        else if (read.chipCorrectionMask & (1u << c))
+            eng->noteChipErrors(c, 1);
+    }
+    const unsigned total = read.rsCorrections + read.vlewBitCorrections;
+    if (total > 0)
+        eng->noteRowErrors(span, total);
+}
+
+void
+RasMirror::patrolCheck(unsigned span, std::vector<int> &per_chip)
+{
+    retireSpan(span);
+    per_chip.assign(rank.chips(), 0);
+    for (unsigned c = 0; c < rank.chips(); ++c)
+        per_chip[c] = scrub.scrubWord(rank, c, span).corrections;
+}
+
+unsigned
+RasMirror::migrateStep(unsigned max_blocks)
+{
+    if (!failover || failover->done())
+        return 0;
+    const unsigned start = failover->watermark();
+    const unsigned end =
+        std::min(start + max_blocks, rank.blocks());
+    // Migration reads go through the erasure path (VLEW-touching), so
+    // fold any demand writes' pending deltas in first.
+    for (unsigned s = start / spanBlocks; s * spanBlocks < end; ++s)
+        retireSpan(s);
+    return failover->step(max_blocks);
+}
+
+void
+RasMirror::onFailoverStart(unsigned chip)
+{
+    engaged_ = true;
+    accessesAtEngage = eng->accesses();
+    failover = std::make_unique<OnlineFailover>(rank, chip, threshold);
+}
+
+void
+RasMirror::noteKillInjected()
+{
+    killInjected = true;
+    accessesAtInjection = eng->accesses();
+}
+
+std::uint64_t
+RasMirror::detectAccesses() const
+{
+    if (!engaged_)
+        return UINT64_MAX;
+    if (accessesAtEngage <= accessesAtInjection)
+        return 0; // proactive failover before the kill landed
+    return accessesAtEngage - accessesAtInjection;
+}
+
+void
+RasMirror::finalCheck(RasTally &tally)
+{
+    // Drain the remaining EUR state through the controller's row-close
+    // path; the hooks retire every mirrored pending block.
+    sys.memory().drainPmEur();
+
+    std::uint8_t out[blockBytes];
+    for (unsigned b = 0; b < rank.blocks(); ++b) {
+        bool ue;
+        if (failover && b < failover->watermark()) {
+            ue = failover->degraded().readBlock(b, out).failed;
+        } else {
+            ue = rank.readBlock(b, out, threshold).path ==
+                 ReadPath::Failed;
+        }
+        switch (oracle.classify(b, out, ue)) {
+          case PersistOracle::Verdict::SettledOk:
+          case PersistOracle::Verdict::TornNew:
+            break;
+          case PersistOracle::Verdict::ReportedUe:
+            ++tally.ue;
+            break;
+          case PersistOracle::Verdict::TornOld:
+          case PersistOracle::Verdict::TornIntermediate:
+          case PersistOracle::Verdict::Violation:
+            ++tally.lostDurable;
+            break;
+        }
+    }
+}
+
+// Trial ---------------------------------------------------------------
+
+const char *
+faultPlanName(FaultPlan plan)
+{
+    switch (plan) {
+      case FaultPlan::Transient:
+        return "transient";
+      case FaultPlan::Intermittent:
+        return "intermittent";
+      case FaultPlan::Progressive:
+        return "progressive";
+      case FaultPlan::ChipKill:
+        return "chip-kill";
+    }
+    return "?";
+}
+
+RasTally &
+RasTally::operator+=(const RasTally &other)
+{
+    trials += other.trials;
+    patrolBursts += other.patrolBursts;
+    patrolYields += other.patrolYields;
+    scrubBits += other.scrubBits;
+    demandReads += other.demandReads;
+    demandWrites += other.demandWrites;
+    rsFixes += other.rsFixes;
+    vlewFallbacks += other.vlewFallbacks;
+    chipRecovered += other.chipRecovered;
+    rowAlarms += other.rowAlarms;
+    targetedScrubs += other.targetedScrubs;
+    kills += other.kills;
+    failovers += other.failovers;
+    migrated += other.migrated;
+    degradedReads += other.degradedReads;
+    degradedWrites += other.degradedWrites;
+    drainedAtFailover += other.drainedAtFailover;
+    detectAccessesMax =
+        std::max(detectAccessesMax, other.detectAccessesMax);
+    sdc += other.sdc;
+    lostDurable += other.lostDurable;
+    ue += other.ue;
+    falseKills += other.falseKills;
+    missedFailovers += other.missedFailovers;
+    engageOverruns += other.engageOverruns;
+    violations += other.violations;
+    return *this;
+}
+
+namespace {
+
+/** The multi-phase fault stream one lifecycle trial injects. Events
+ *  capture only the driver pointer (plus scalars), so the stack-local
+ *  instance fits the event queue's inline capture budget. */
+struct FaultDriver
+{
+    System &sys;
+    PmRank &rank;
+    RasMirror &mirror;
+    Rng rng;
+    Tick horizon;
+    unsigned victim = 0;
+    unsigned stuckLeft = 12;
+
+    void
+    flip(unsigned chip)
+    {
+        rank.corruptByte(
+            chip, static_cast<unsigned>(rng.below(rank.blocks())),
+            static_cast<unsigned>(rng.below(chipBeatBytes)),
+            static_cast<std::uint8_t>(1u << rng.below(8)));
+    }
+
+    void
+    transientBurst()
+    {
+        for (unsigned i = 0; i < 6; ++i)
+            flip(static_cast<unsigned>(rng.below(rank.chips())));
+    }
+
+    void
+    intermittentTick(Tick stop, Tick step)
+    {
+        flip(victim);
+        if (sys.now() + step < stop) {
+            sys.events().scheduleAfter(
+                step, [this, stop, step] {
+                    intermittentTick(stop, step);
+                });
+        }
+    }
+
+    void
+    progressiveTick(Tick stop, Tick step)
+    {
+        if (stuckLeft == 0)
+            return;
+        --stuckLeft;
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(rank.blocks()) * chipBeatBytes;
+        rank.setStuckBit(victim, rng.below(bytes),
+                         static_cast<unsigned>(rng.below(8)),
+                         rng.chance(0.5));
+        if (sys.now() + step < stop) {
+            sys.events().scheduleAfter(
+                step, [this, stop, step] {
+                    progressiveTick(stop, step);
+                });
+        }
+    }
+
+    void
+    kill()
+    {
+        rank.failChip(victim, rng);
+        mirror.noteKillInjected();
+    }
+};
+
+} // namespace
+
+RasTally
+runRasTrial(const RasTrialConfig &tc, Rng &rng)
+{
+    NVCK_ASSERT(tc.rankBlocks >= 64 && tc.rankBlocks % 32 == 0,
+                "rank must hold whole VLEW spans");
+    RasTally tally;
+    tally.trials = 1;
+
+    SystemConfig cfg = SystemConfig::make(
+        tc.tech, proposalScheme(runtimeRberFor(tc.tech)), "echo",
+        rng.next() | 1);
+    cfg.cores = tc.cores;
+    cfg.cache.cores = tc.cores;
+    cfg.cache.l1Bytes = 8 * 1024;
+    cfg.cache.llcBytes = 64 * 1024;
+    cfg.cache.llcWays = 8;
+    // Same compact shape as the whole-system crash campaign: few banks
+    // keep the rank mirrorable with real row conflicts, aggressive
+    // drain thresholds keep the EUR write path busy.
+    cfg.mem.dram.banks = tc.banks;
+    cfg.mem.pm.banks = tc.banks;
+    cfg.mem.writeMaxAge = nsToTicks(400);
+    cfg.mem.writeIdleBurst = 4;
+    cfg.mem.writeDrainHigh = 24;
+    cfg.mem.writeDrainLow = 8;
+    cfg.space.pmBase = 0;
+    cfg.space.pmBytes =
+        static_cast<std::uint64_t>(tc.rankBlocks) * blockBytes;
+    cfg.space.dramBytes = 1u << 20;
+
+    System sys(cfg, std::make_unique<CampaignWorkload>(
+                        cfg.space, tc.cores, rng.next()));
+
+    PmRank rank(tc.rankBlocks);
+    rank.initialize(rng);
+    PersistOracle oracle(tc.rankBlocks);
+    {
+        std::uint8_t buf[blockBytes];
+        for (unsigned b = 0; b < tc.rankBlocks; ++b) {
+            rank.goldenBlock(b, buf);
+            oracle.setBaseline(b, buf);
+        }
+    }
+
+    RasMirror mirror(sys, rank, oracle, tc.ras, tc.threshold,
+                     rng.next());
+    RasEngine &eng = mirror.engine();
+
+    FaultDriver driver{sys, rank, mirror, Rng(rng.next() | 1),
+                       tc.horizon};
+    driver.victim =
+        static_cast<unsigned>(driver.rng.below(rank.chips()));
+    const auto plan_at_least = [&tc](FaultPlan p) {
+        return static_cast<int>(tc.plan) >= static_cast<int>(p);
+    };
+    auto &eq = sys.events();
+    eq.schedule(tc.horizon / 10,
+                [d = &driver] { d->transientBurst(); });
+    if (plan_at_least(FaultPlan::Intermittent)) {
+        eq.schedule(tc.horizon / 4, [d = &driver] {
+            d->intermittentTick(d->horizon / 2, nsToTicks(150));
+        });
+    }
+    if (plan_at_least(FaultPlan::Progressive)) {
+        eq.schedule(tc.horizon / 2, [d = &driver] {
+            d->progressiveTick(d->horizon * 7 / 10, nsToTicks(220));
+        });
+    }
+    if (tc.plan == FaultPlan::ChipKill)
+        eq.schedule(tc.horizon * 7 / 10, [d = &driver] { d->kill(); });
+
+    eng.start();
+    sys.start();
+    sys.runUntil(tc.horizon);
+    if (eng.state() == RasState::Draining ||
+        eng.state() == RasState::Migrating)
+        sys.runUntil(tc.horizon + tc.failoverSlack);
+
+    mirror.finalCheck(tally);
+
+    const RasStats &es = eng.stats();
+    const RasMirror::Counts &mc = mirror.counts();
+    tally.patrolBursts = es.patrolBursts;
+    tally.patrolYields = es.patrolYields;
+    tally.scrubBits = es.scrubBitsFound;
+    tally.rowAlarms = es.rowAlarms;
+    tally.targetedScrubs = es.targetedScrubs;
+    tally.kills = es.killsDetected;
+    tally.failovers = mirror.completed() ? 1 : 0;
+    tally.migrated = es.migratedBlocks;
+    tally.drainedAtFailover = es.drainedAtFailover;
+    tally.demandReads = mc.demandReads;
+    tally.demandWrites = mc.demandWrites;
+    tally.rsFixes = mc.rsFixes;
+    tally.vlewFallbacks = mc.vlewFallbacks;
+    tally.chipRecovered = mc.chipRecovered;
+    tally.degradedReads = mc.degradedReads;
+    tally.degradedWrites = mc.degradedWrites;
+    tally.sdc = mc.sdc;
+    tally.ue += mc.ue;
+
+    switch (tc.plan) {
+      case FaultPlan::Transient:
+        // Scattered one-shot faults must age out of the ledger, never
+        // trigger failover.
+        if (es.killsDetected > 0)
+            ++tally.falseKills;
+        break;
+      case FaultPlan::Intermittent:
+      case FaultPlan::Progressive:
+        // Proactive failover is allowed (and tallied) but not required
+        // — whether the buckets cross depends on the fault rate.
+        break;
+      case FaultPlan::ChipKill:
+        if (!mirror.completed()) {
+            ++tally.missedFailovers;
+        } else {
+            const std::uint64_t detect = mirror.detectAccesses();
+            tally.detectAccessesMax = detect;
+            if (detect > tc.detectAccessBound)
+                ++tally.engageOverruns;
+        }
+        break;
+    }
+
+    tally.violations = tally.sdc + tally.lostDurable + tally.ue +
+                       tally.falseKills + tally.missedFailovers +
+                       tally.engageOverruns;
+
+    NVCK_ASSERT(sys.pendingStaleAcks() == 0,
+                "stale persist acks without a power cut");
+    return tally;
+}
+
+// Campaign ------------------------------------------------------------
+
+RasTally
+RasTotals::total() const
+{
+    RasTally sum;
+    for (const auto &tech : cells) {
+        for (const auto &cell : tech)
+            sum += cell;
+    }
+    return sum;
+}
+
+namespace {
+
+/** One sweep point's result: which campaign cell it feeds. */
+struct RasCellResult
+{
+    unsigned tech = 0;
+    unsigned plan = 0;
+    RasTally tally;
+};
+
+void
+rasTallyRow(Table &t, const std::string &label, const RasTally &c)
+{
+    t.row()
+        .cell(label)
+        .cell(c.trials)
+        .cell(c.patrolBursts)
+        .cell(c.scrubBits)
+        .cell(c.rowAlarms)
+        .cell(c.targetedScrubs)
+        .cell(c.kills)
+        .cell(c.failovers)
+        .cell(c.migrated)
+        .cell(c.degradedReads)
+        .cell(c.degradedWrites)
+        .cell(c.detectAccessesMax)
+        .cell(c.sdc)
+        .cell(c.lostDurable)
+        .cell(c.ue)
+        .cell(c.falseKills)
+        .cell(c.missedFailovers)
+        .cell(c.engageOverruns)
+        .cell(c.violations);
+}
+
+} // namespace
+
+RasTotals
+rasCampaign(std::ostream &os, const SweepOptions &opts,
+            const RasCampaignConfig &cfg)
+{
+    NVCK_ASSERT(cfg.chunkTrials > 0, "empty campaign chunks");
+    static const PmTech techs[numRasTechs] = {PmTech::Reram,
+                                              PmTech::Pcm};
+    ParallelSweep<RasCellResult> sweep(cfg.seed, opts);
+
+    const unsigned cells = numRasTechs * numFaultPlans;
+    unsigned cell = 0;
+    for (unsigned ti = 0; ti < numRasTechs; ++ti) {
+        for (unsigned pi = 0; pi < numFaultPlans; ++pi, ++cell) {
+            std::uint64_t remaining =
+                cfg.trials / cells +
+                (cell < cfg.trials % cells ? 1 : 0);
+            for (unsigned chunk = 0; remaining > 0; ++chunk) {
+                const auto batch =
+                    std::min<std::uint64_t>(remaining, cfg.chunkTrials);
+                remaining -= batch;
+                sweep.add(
+                    pmTechName(techs[ti]) + "/" +
+                        faultPlanName(static_cast<FaultPlan>(pi)) +
+                        " #" + std::to_string(chunk),
+                    [&cfg, ti, pi, batch](Rng &rng) {
+                        RasTrialConfig tc = cfg.trial;
+                        tc.tech = techs[ti];
+                        tc.plan = static_cast<FaultPlan>(pi);
+                        RasCellResult r;
+                        r.tech = ti;
+                        r.plan = pi;
+                        for (std::uint64_t t = 0; t < batch; ++t)
+                            r.tally += runRasTrial(tc, rng);
+                        return r;
+                    });
+            }
+        }
+    }
+
+    RasTotals totals{};
+    for (const auto &out : sweep.run())
+        totals.cells[out.value.tech][out.value.plan] += out.value.tally;
+
+    Table t({"fault plan", "trials", "patrol", "bits", "alarms",
+             "scrubs", "kills", "failover", "migrated", "degr rd",
+             "degr wr", "detect", "sdc", "lost", "UE", "false",
+             "missed", "late", "violations"});
+    for (unsigned ti = 0; ti < numRasTechs; ++ti) {
+        for (unsigned pi = 0; pi < numFaultPlans; ++pi)
+            rasTallyRow(t,
+                        pmTechName(techs[ti]) + "/" +
+                            faultPlanName(static_cast<FaultPlan>(pi)),
+                        totals.cells[ti][pi]);
+    }
+    rasTallyRow(t, "total", totals.total());
+    t.print(os);
+    return totals;
+}
+
+} // namespace nvck

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Runtime RAS (reliability/availability/serviceability) engine: the
+ * online half of the paper's chipkill story. Section V assumes a chip
+ * failure is detected and remedied at runtime — RS(72,64) flags the
+ * erasure and the system drops to the degraded bit-error-only mode —
+ * but until now the repo only modelled that transition offline
+ * (DegradedRank::takeOver on a quiesced rank). This engine closes the
+ * loop under live traffic:
+ *
+ *  - a **health ledger** keeps one integer leaky bucket per chip and
+ *    per VLEW-span row, fed by every runtime correction event (RS
+ *    within-threshold fixes, VLEW fallbacks, erasure rebuilds, patrol
+ *    scrub findings). Buckets leak a fixed amount per decay interval,
+ *    so transient faults age out while intermittent and progressive
+ *    faults accumulate and cross thresholds. All accounting is
+ *    integer arithmetic — no libm — so trials replay bit-identically
+ *    on any host;
+ *  - a **patrol scrubber** runs as a recurring EventQueue event: each
+ *    cycle it yields to pending demand reads, otherwise issues a
+ *    bounded burst of patrol reads through the real MemController
+ *    (isPatrol overhead traffic) and, when the last read completes,
+ *    scrubs the covered VLEW span word-by-word through the
+ *    ScrubEngine's fast residue path, feeding findings to the ledger.
+ *    A row bucket crossing its (lower) threshold schedules an
+ *    immediate targeted scrub of that span — latent errors are
+ *    repaired before they can accumulate past the RS budget;
+ *  - **online failover**: when a chip bucket crosses the kill
+ *    threshold, the engine drains all in-flight EUR state through the
+ *    controller (MemController::drainPmEur, the usual row-close path),
+ *    then migrates the rank to a DegradedRank span by span as paced
+ *    events interleaved with demand traffic, routing reads/writes by
+ *    a migration watermark the whole time. A second chip crossing
+ *    after (or during) failover reports Unrecoverable — two dead
+ *    chips exceed the RS budget — instead of asserting.
+ *
+ * The engine owns timing and policy only; all bit-level work (scrub
+ * decode, block migration, ledger evidence from real reads) happens
+ * through caller-supplied callbacks, so unit tests can drive the state
+ * machine with stubs and the fault-lifecycle campaign (RasMirror)
+ * plugs in the bit-accurate PmRank/DegradedRank pair.
+ *
+ * One modelling note on EUR-pending spans: a VLEW whose code-bit delta
+ * still sits in the EUR must not be decoded against the stale media
+ * code (the decoder would "correct" a durable write away). The chip
+ * holds the EUR (Fig 11), so any chip-internal VLEW operation folds
+ * the pending delta in first; the mirror models this by retiring a
+ * span's pending code deltas before any scrub or VLEW-fallback read
+ * that touches it.
+ */
+
+#ifndef NVCK_SIM_RAS_HH
+#define NVCK_SIM_RAS_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "chipkill/degraded.hh"
+#include "chipkill/pm_rank.hh"
+#include "chipkill/scrub.hh"
+#include "common/event.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/parallel.hh"
+#include "sim/syscrash.hh"
+#include "sim/system.hh"
+
+namespace nvck {
+
+/** RAS policy knobs (env overrides via fromEnv()). */
+struct RasConfig
+{
+    /** Patrol cycle period (NVCK_RAS_PATROL, ns). */
+    Tick patrolInterval = nsToTicks(400);
+    /** Patrol reads modelled per burst (one VLEW span per burst). */
+    unsigned patrolReads = 4;
+    /** Chip bucket level that triggers failover (NVCK_RAS_THRESHOLD). */
+    std::uint64_t killThreshold = 48;
+    /** Row bucket level that triggers a targeted scrub. */
+    std::uint64_t rowThreshold = 12;
+    /** Leak cadence for every bucket (NVCK_RAS_DECAY, ns). */
+    Tick decayInterval = nsToTicks(2000);
+    /** Level leaked per elapsed decay interval. */
+    std::uint64_t decayStep = 4;
+    /** Ledger weight of one chip-erasure event (VLEW uncorrectable). */
+    std::uint64_t erasureWeight = 16;
+    /** Blocks migrated per failover step (one VLEW span). */
+    unsigned migrateBlocksPerStep = 32;
+    /** Pacing between migration steps. */
+    Tick migrateStepInterval = nsToTicks(60);
+
+    /**
+     * Apply NVCK_RAS_PATROL / NVCK_RAS_THRESHOLD / NVCK_RAS_DECAY on
+     * top of the defaults (strict parse: garbage exits with status 2).
+     */
+    static RasConfig fromEnv();
+};
+
+/**
+ * Integer leaky-bucket error accounting, per chip and per row (a
+ * "row" is a VLEW span — the repair granule the patrol scrubber and
+ * the degraded layout both work in). record*() adds weight after
+ * leaking `decayStep` per whole `decayInterval` elapsed since the
+ * bucket's last update; levels are exact integer functions of the
+ * event history, so threshold crossings are reproducible anywhere.
+ */
+class HealthLedger
+{
+  public:
+    HealthLedger(unsigned chips, unsigned rows, const RasConfig &cfg);
+
+    /** Add @p weight to a chip bucket at @p now; returns the level. */
+    std::uint64_t recordChip(unsigned chip, std::uint64_t weight,
+                             Tick now);
+    /** Add @p weight to a row bucket at @p now; returns the level. */
+    std::uint64_t recordRow(unsigned row, std::uint64_t weight,
+                            Tick now);
+
+    /** Decayed level as of @p now (no state change). */
+    std::uint64_t chipLevel(unsigned chip, Tick now) const;
+    std::uint64_t rowLevel(unsigned row, Tick now) const;
+
+    /** Empty a row bucket (after its targeted scrub fired). */
+    void resetRow(unsigned row);
+
+    unsigned chips() const
+    {
+        return static_cast<unsigned>(chipBuckets.size());
+    }
+    unsigned rows() const
+    {
+        return static_cast<unsigned>(rowBuckets.size());
+    }
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t level = 0;
+        Tick lastLeak = 0;
+    };
+
+    std::uint64_t decayed(const Bucket &b, Tick now) const;
+    std::uint64_t record(Bucket &b, std::uint64_t weight, Tick now);
+
+    Tick decayInterval;
+    std::uint64_t decayStep;
+    std::vector<Bucket> chipBuckets;
+    std::vector<Bucket> rowBuckets;
+};
+
+/** Failover state machine. */
+enum class RasState
+{
+    Healthy,       //!< patrol running, ledger armed
+    Draining,      //!< kill detected; EUR state draining
+    Migrating,     //!< per-span migration interleaved with traffic
+    Degraded,      //!< serving from the DegradedRank layout
+    Unrecoverable, //!< a second chip crossed; reads report UE
+};
+
+const char *rasStateName(RasState state);
+
+/** Engine-side counters (bit-level tallies live in the mirror). */
+struct RasStats
+{
+    std::uint64_t patrolBursts = 0;
+    std::uint64_t patrolYields = 0;  //!< cycles ceded to demand reads
+    std::uint64_t patrolDropped = 0; //!< completions after a kill
+    std::uint64_t scrubWords = 0;
+    std::uint64_t scrubBitsFound = 0;
+    std::uint64_t scrubErasures = 0;
+    std::uint64_t rowAlarms = 0;
+    std::uint64_t targetedScrubs = 0;
+    std::uint64_t ledgerEvents = 0;
+    std::uint64_t killsDetected = 0;
+    std::uint64_t doubleKills = 0;
+    std::uint64_t drainedAtFailover = 0;
+    std::uint64_t migratedBlocks = 0;
+    std::uint64_t migrationTrafficDropped = 0;
+    Tick detectedAt = 0; //!< kill threshold crossing
+    Tick engagedAt = 0;  //!< migration started (EUR drained)
+    Tick completedAt = 0;
+};
+
+/**
+ * The timing-side RAS engine: patrol pacing, ledger bookkeeping, and
+ * the failover state machine, scheduled on the System's EventQueue.
+ */
+class RasEngine
+{
+  public:
+    /** Bit-level work, supplied by the mirror (or test stubs). */
+    struct Callbacks
+    {
+        /** Scrub VLEW span @p span; fill @p per_chip with each chip's
+         *  corrections (-1 = uncorrectable, erasure evidence). */
+        std::function<void(unsigned span, std::vector<int> &per_chip)>
+            patrolCheck;
+        /** Migrate up to @p max_blocks blocks; returns how many. */
+        std::function<unsigned(unsigned max_blocks)> migrateStep;
+        /** EUR drained; migration is about to start for @p chip. */
+        std::function<void(unsigned chip)> onFailoverStart;
+        /** Every block migrated; state is now Degraded. */
+        std::function<void()> onFailoverComplete;
+        /** A second chip crossed the kill threshold. */
+        std::function<void(unsigned chip)> onUnrecoverable;
+    };
+
+    RasEngine(System &system, const RasConfig &config,
+              unsigned rank_blocks, unsigned span_blocks,
+              Callbacks callbacks);
+
+    /** Arm the patrol cycle (first burst one interval from now). */
+    void start();
+
+    /**
+     * Feed a correction event attributed to @p chip. Crossing the kill
+     * threshold schedules failover (deferred one event, so feeding
+     * from inside a controller callback is safe); crossing on a second
+     * chip after failover reports Unrecoverable. Weight conventions:
+     * 1 per chip with symbol/bit corrections, RasConfig::erasureWeight
+     * per VLEW-uncorrectable (erasure) event.
+     */
+    void noteChipErrors(unsigned chip, std::uint64_t weight);
+
+    /** Feed row-granularity evidence; may schedule a targeted scrub. */
+    void noteRowErrors(unsigned row, std::uint64_t weight);
+
+    /** Count a demand PM access (failover-latency bookkeeping). */
+    void noteAccess() { ++accessCount; }
+
+    RasState state() const { return st; }
+    unsigned killedChip() const { return killed; }
+    /** Blocks below this index are served by the degraded layout. */
+    unsigned watermark() const { return migrated; }
+    std::uint64_t accesses() const { return accessCount; }
+    /** Demand accesses between kill detection and migration start. */
+    std::uint64_t engageAccesses() const
+    {
+        return accessesAtEngage - accessesAtDetect;
+    }
+    /** Patrol bursts whose reads are still in flight. */
+    unsigned patrolInFlight() const { return joinsLive; }
+
+    const RasStats &stats() const { return rasStats; }
+    const HealthLedger &ledger() const { return healthLedger; }
+
+  private:
+    struct PatrolJoin
+    {
+        unsigned remaining = 0;
+        unsigned span = 0;
+        std::uint32_t next = 0; //!< free-list link
+    };
+
+    static constexpr std::uint32_t noJoin = UINT32_MAX;
+
+    void patrolTick();
+    /** Issue one patrol burst over @p span; false if nothing issued. */
+    bool issueBurst(unsigned span, bool targeted);
+    void patrolReadDone(std::uint32_t join);
+    void patrolComplete(unsigned span);
+    void beginFailover();
+    void migrateTick();
+
+    System &sys;
+    RasConfig cfg;
+    Callbacks cb;
+    unsigned rankBlocks;
+    unsigned spanBlocks;
+    unsigned spans;
+    HealthLedger healthLedger;
+    RasState st = RasState::Healthy;
+    unsigned killed = 0;
+    bool killQueued = false;
+    bool targetedQueued = false;
+    unsigned migrated = 0;
+    std::uint64_t accessCount = 0;
+    std::uint64_t accessesAtDetect = 0;
+    std::uint64_t accessesAtEngage = 0;
+    unsigned patrolCursor = 0;
+    EventQueue::Recurring patrolEv;
+    EventQueue::Recurring migrateEv;
+    std::vector<PatrolJoin> joins;
+    std::uint32_t freeJoin = noJoin;
+    unsigned joinsLive = 0;
+    std::vector<int> scratch;
+    RasStats rasStats;
+};
+
+/**
+ * Incremental bit-level migration of a healthy rank (minus one chip)
+ * into a DegradedRank. Starts from the zero-constructed degraded
+ * state — zero data with zero code bits is a consistent striped-VLEW
+ * image — and applies each source block through writeBlock's linear
+ * XOR path, so after the last step the result is bit-identical to an
+ * offline DegradedRank::takeOver of the same quiesced contents (the
+ * differential test in tests/sim/test_ras.cc pins this). Source
+ * blocks are read through the full runtime path (RS, VLEW fallback,
+ * erasure around the dead chip); a source block standing at a
+ * reported UE poisons its destination span rather than migrating
+ * garbage.
+ */
+class OnlineFailover
+{
+  public:
+    OnlineFailover(PmRank &healthy, unsigned failed_chip,
+                   unsigned threshold);
+
+    /** Migrate up to @p max_blocks more blocks; returns how many. */
+    unsigned step(unsigned max_blocks);
+
+    bool done() const { return cursor >= source.blocks(); }
+    /** Blocks below this index live in the degraded layout. */
+    unsigned watermark() const { return cursor; }
+    unsigned failedChip() const { return chip; }
+    std::uint64_t poisonedBlocks() const { return poisoned; }
+
+    DegradedRank &degraded() { return target; }
+    const DegradedRank &degraded() const { return target; }
+
+  private:
+    PmRank &source;
+    unsigned chip;
+    unsigned thresh;
+    unsigned cursor = 0;
+    std::uint64_t poisoned = 0;
+    DegradedRank target;
+};
+
+/** Multi-phase fault stream a lifecycle trial injects. */
+enum class FaultPlan
+{
+    Transient,    //!< scattered one-shot flips only; no kill expected
+    Intermittent, //!< + recurring flips on one victim chip
+    Progressive,  //!< + accumulating stuck-at cells on the victim
+    ChipKill,     //!< + full chip kill; failover must complete
+};
+
+constexpr unsigned numFaultPlans = 4;
+
+const char *faultPlanName(FaultPlan plan);
+
+/** Aggregated outcome of lifecycle trials. */
+struct RasTally
+{
+    std::uint64_t trials = 0;
+    std::uint64_t patrolBursts = 0;
+    std::uint64_t patrolYields = 0;
+    std::uint64_t scrubBits = 0;
+    std::uint64_t demandReads = 0;
+    std::uint64_t demandWrites = 0;
+    std::uint64_t rsFixes = 0;
+    std::uint64_t vlewFallbacks = 0;
+    std::uint64_t chipRecovered = 0;
+    std::uint64_t rowAlarms = 0;
+    std::uint64_t targetedScrubs = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t migrated = 0;
+    std::uint64_t degradedReads = 0;
+    std::uint64_t degradedWrites = 0;
+    std::uint64_t drainedAtFailover = 0;
+    /** Max over trials of demand accesses from kill injection to
+     *  failover engagement. */
+    std::uint64_t detectAccessesMax = 0;
+    std::uint64_t sdc = 0;         //!< silent wrong data from a read
+    std::uint64_t lostDurable = 0; //!< final state lost a durable write
+    std::uint64_t ue = 0;          //!< reported UEs (none expected)
+    std::uint64_t falseKills = 0;  //!< kill in a Transient-plan trial
+    std::uint64_t missedFailovers = 0; //!< ChipKill without completion
+    std::uint64_t engageOverruns = 0;  //!< detection latency > bound
+    /** Oracle violations: must be zero. */
+    std::uint64_t violations = 0;
+
+    RasTally &operator+=(const RasTally &other);
+};
+
+/**
+ * The timing<->bit-level bridge for the lifecycle campaign: installs
+ * CrashHooks to replay every demand PM access on the PmRank (feeding
+ * the ledger from real read outcomes and the persist oracle from the
+ * write path, like SysCrashMirror), implements the engine callbacks
+ * (patrol scrub via ScrubEngine::scrubWord, migration via
+ * OnlineFailover), and routes accesses across the migration watermark
+ * once failover starts.
+ */
+class RasMirror
+{
+  public:
+    RasMirror(System &system, PmRank &pm_rank, PersistOracle &po,
+              const RasConfig &ras_cfg, unsigned threshold,
+              std::uint64_t value_seed);
+
+    RasEngine &engine() { return *eng; }
+    const RasEngine &engine() const { return *eng; }
+
+    /** Begin counting demand accesses toward the detection bound. */
+    void noteKillInjected();
+
+    bool engaged() const { return engaged_; }
+    bool completed() const { return completed_; }
+    bool unrecoverable() const { return unrecoverable_; }
+    /** Demand PM accesses between kill injection and engagement. */
+    std::uint64_t detectAccesses() const;
+
+    /**
+     * End of trial: drain the remaining EUR state through the
+     * controller, read back every block through the live routing, and
+     * classify it against the oracle into @p tally (sdc / lostDurable
+     * / ue). Campaign-level plan assertions stay with the caller.
+     */
+    void finalCheck(RasTally &tally);
+
+    /** Bit-level tallies accumulated during the run. */
+    struct Counts
+    {
+        std::uint64_t demandReads = 0;
+        std::uint64_t demandWrites = 0;
+        std::uint64_t rsFixes = 0;
+        std::uint64_t vlewFallbacks = 0;
+        std::uint64_t chipRecovered = 0;
+        std::uint64_t degradedReads = 0;
+        std::uint64_t degradedWrites = 0;
+        std::uint64_t sdc = 0;
+        std::uint64_t ue = 0;
+        std::uint64_t poisonedWriteSkips = 0;
+        std::uint64_t earlyRetires = 0; //!< EUR merges before VLEW ops
+    };
+
+    const Counts &counts() const { return n; }
+
+  private:
+    void onPmWrite(Addr addr, unsigned bank, unsigned slot);
+    void onEurDrain(unsigned bank, unsigned slot);
+    void onPmRead(Addr addr, bool patrol, bool overhead);
+    void demandRead(unsigned block);
+    void demandWrite(unsigned block, unsigned bank, unsigned slot);
+    void patrolCheck(unsigned span, std::vector<int> &per_chip);
+    unsigned migrateStep(unsigned max_blocks);
+    void onFailoverStart(unsigned chip);
+
+    unsigned blockOf(Addr addr) const;
+    unsigned spanOf(unsigned block) const;
+    /** Chip-internal EUR merge: retire every mirrored pending code
+     *  delta in @p span before a VLEW-touching operation. */
+    void retireSpan(unsigned span);
+    void retireBlock(unsigned block);
+    void makePayload(const std::uint8_t *old_data, std::uint8_t *out);
+
+    System &sys;
+    PmRank &rank;
+    PersistOracle &oracle;
+    ScrubEngine scrub;
+    Rng rng;
+    RasConfig rasCfg;
+    unsigned threshold;
+    unsigned spanBlocks;
+    /** Healthy-side mirrored pending blocks per flattened
+     *  (bank * slotsPerBank + EUR slot) register. */
+    std::vector<std::vector<unsigned>> pendingSlots;
+    /** Register currently coalescing each span's code deltas (open-row
+     *  exclusivity: one span per register at a time). */
+    std::vector<std::uint32_t> spanRegister;
+    /** Per-span count of healthy-side pending blocks. */
+    std::vector<unsigned> spanPending;
+    /** Last value whose code fully drained on the healthy rank. */
+    std::vector<PersistOracle::Value> healthySettled;
+    std::unique_ptr<OnlineFailover> failover;
+    std::unique_ptr<RasEngine> eng;
+    bool killInjected = false;
+    bool engaged_ = false;
+    bool completed_ = false;
+    bool unrecoverable_ = false;
+    std::uint64_t accessesAtInjection = 0;
+    std::uint64_t accessesAtEngage = 0;
+    Counts n;
+};
+
+/** Shape knobs for one lifecycle trial. */
+struct RasTrialConfig
+{
+    PmTech tech = PmTech::Reram;
+    FaultPlan plan = FaultPlan::ChipKill;
+    /** Mirrored rank capacity (multiple of 32). */
+    unsigned rankBlocks = 1024;
+    unsigned banks = 4;
+    unsigned cores = 2;
+    /** Live-traffic horizon; fault phases are placed inside it. */
+    Tick horizon = nsToTicks(16000);
+    /** Extra time allowed for a late failover to finish migrating. */
+    Tick failoverSlack = nsToTicks(8000);
+    /** RS acceptance threshold. */
+    unsigned threshold = 2;
+    /** Engine policy (bench applies RasConfig::fromEnv()). */
+    RasConfig ras;
+    /** Max demand PM accesses from kill injection to engagement. */
+    std::uint64_t detectAccessBound = 512;
+};
+
+/** Run one seeded lifecycle trial. */
+RasTally runRasTrial(const RasTrialConfig &tc, Rng &rng);
+
+/** Campaign shape; the defaults meet the acceptance bar (>= 5k). */
+struct RasCampaignConfig
+{
+    std::uint64_t seed = 2018;
+    /** Trials, split across (technology x fault plan) cells. */
+    std::uint64_t trials = 6000;
+    /** Trials per sweep point (parallel work-item granularity). */
+    unsigned chunkTrials = 25;
+    RasTrialConfig trial; //!< tech/plan overwritten per cell
+};
+
+constexpr unsigned numRasTechs = 2;
+
+/** Aggregated campaign outcome per (technology, fault plan) cell. */
+struct RasTotals
+{
+    std::array<std::array<RasTally, numFaultPlans>, numRasTechs> cells;
+
+    RasTally total() const;
+    std::uint64_t
+    violations() const
+    {
+        return total().violations;
+    }
+};
+
+/**
+ * Run the fault-lifecycle campaign as a ParallelSweep, print the
+ * per-cell table to @p os, and return the tallies. Output is
+ * byte-identical for any worker count at a fixed seed.
+ */
+RasTotals rasCampaign(std::ostream &os, const SweepOptions &opts,
+                      const RasCampaignConfig &cfg);
+
+} // namespace nvck
+
+#endif // NVCK_SIM_RAS_HH

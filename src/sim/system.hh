@@ -97,6 +97,8 @@ class System : public CoreContext, public MemSink
     const SystemConfig &config() const { return cfg; }
     /** The system's event queue (kernel identity, per-queue counters). */
     const EventQueue &events() const { return eq; }
+    /** Mutable queue access for co-scheduled engines (sim/ras.hh). */
+    EventQueue &events() { return eq; }
 
     /** Persist acks still owed to writes orphaned by a power cut. */
     std::size_t pendingStaleAcks() const { return stalePersistAcks; }
