@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hot-sparing campaign for the RAS engine: every trial boots a
+ * complete System over a mirrored bit-accurate rank, kills a chip
+ * under a live persistent workload, and drives one of four service
+ * plans — no spare (degraded baseline), spare rebuild to full code
+ * strength, spare lost mid-rebuild (degraded fallback), and full
+ * repair with migrate-back to a replacement device — checking against
+ * the persist oracle that no route loses a durable write, corrupts
+ * data silently, or strands the rank short of its plan's end state.
+ *
+ * Knobs (strict parse, common/env.hh):
+ *   NVCK_SPARE_TRIALS           trials across all (tech x plan) cells
+ *                               (default 6000)
+ *   NVCK_SPARE_REBUILD_BLOCKS   rebuild/migrate-back blocks per step
+ *   NVCK_SPARE_REBUILD_INTERVAL step pacing in ns
+ *   NVCK_RAS_PATROL             patrol cycle period in ns
+ *   NVCK_RAS_THRESHOLD          chip-kill bucket threshold
+ *   NVCK_RAS_PATROL_ORDER       wear | addr patrol ordering
+ *   NVCK_CAMPAIGN_JSON          also write the shared report as JSON
+ *
+ * Exit status is non-zero when any invariant was violated; `--seed N`
+ * replays a CI failure verbatim and `--jobs N` never changes the
+ * bytes.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/env.hh"
+#include "sim/spare.hh"
+
+using namespace nvck;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = SweepOptions::parse(argc, argv);
+    banner("Hot-sparing campaign",
+           "spare rebuild, degraded fallback, and repair/migrate-back");
+
+    SpareCampaignConfig cfg;
+    if (const auto trials = envPositive("NVCK_SPARE_TRIALS"))
+        cfg.trials = *trials;
+    cfg.trial.ras = RasConfig::fromEnv();
+
+    const SpareTotals totals = spareCampaign(std::cout, opts, cfg);
+
+    const RasTally sum = totals.total();
+    CampaignReport report;
+    report.name = "hot-sparing-campaign";
+    report.seed = opts.seedSet ? opts.seed : cfg.seed;
+    report.trials = sum.trials;
+    report.violations = totals.violations();
+    report.counters = {{"kills", sum.kills},
+                       {"rebuilds", sum.rebuilds},
+                       {"rebuilt_blocks", sum.rebuiltBlocks},
+                       {"spared", sum.spared},
+                       {"spare_abandons", sum.spareAbandons},
+                       {"repairs", sum.repairs},
+                       {"survivor_bits", sum.survivorBits},
+                       {"failovers", sum.failovers},
+                       {"migrated_blocks", sum.migrated},
+                       {"drained_at_failover", sum.drainedAtFailover},
+                       {"detect_accesses_max", sum.detectAccessesMax},
+                       {"scrub_bits", sum.scrubBits},
+                       {"sdc", sum.sdc},
+                       {"lost_durable", sum.lostDurable},
+                       {"reported_ue", sum.ue},
+                       {"missed_spares", sum.missedSpares},
+                       {"missed_repairs", sum.missedRepairs},
+                       {"missed_failovers", sum.missedFailovers},
+                       {"engage_overruns", sum.engageOverruns}};
+    if (const char *path = std::getenv("NVCK_CAMPAIGN_JSON")) {
+        std::ofstream json(path);
+        campaignJson(json, report);
+    }
+    return campaignVerdict(std::cout, report);
+}

@@ -244,6 +244,16 @@ DegradedRank::poisonSpan(unsigned vlew)
     recCounters.count(RecoveryOutcome::DetectedUE);
 }
 
+unsigned
+DegradedRank::poisonedSpans() const
+{
+    unsigned n = 0;
+    for (const bool p : poisonedVlew)
+        if (p)
+            ++n;
+    return n;
+}
+
 DegradedSnapshot
 DegradedRank::snapshot() const
 {

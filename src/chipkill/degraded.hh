@@ -128,6 +128,9 @@ class DegradedRank
      */
     void poisonSpan(unsigned vlew);
 
+    /** Number of striped VLEW spans standing as reported UEs. */
+    unsigned poisonedSpans() const;
+
     /** Capture / reinstate the persistent image. */
     DegradedSnapshot snapshot() const;
     void restore(const DegradedSnapshot &snap);

@@ -685,6 +685,111 @@ PmRank::rebuildParityChip()
     }
 }
 
+PmRank::LaneRebuildReport
+PmRank::rebuildLaneSpan(unsigned chip, unsigned vlew,
+                        unsigned threshold, std::uint16_t distrust_mask)
+{
+    NVCK_ASSERT(chip <= dataChips, "chip out of range");
+    NVCK_ASSERT(vlew < numVlews, "vlew out of range");
+    LaneRebuildReport report;
+    const unsigned first = vlew * blocksPerVlew;
+    bool poisoned_any = false;
+
+    // A survivor whose VLEW could not vouch for its beats makes every
+    // erasure fill in the span untrustworthy (the eight erasures leave
+    // no redundancy to detect the survivor's residual errors): poison
+    // the whole span rather than emit a silent version mix.
+    const bool distrusted =
+        (distrust_mask & static_cast<std::uint16_t>(
+                             ~(1u << chip))) != 0;
+
+    std::vector<std::uint32_t> erasures;
+    erasures.reserve(chipBeatBytes);
+    for (unsigned b = 0; b < chipBeatBytes; ++b)
+        erasures.push_back(geom.rsCheckBytes + chip * chipBeatBytes + b);
+
+    for (unsigned i = 0; i < blocksPerVlew; ++i) {
+        const unsigned block = first + i;
+        if (poisoned[block])
+            continue;
+        if (distrusted) {
+            recCounters.count(RecoveryOutcome::DetectedUE);
+            poisonBlock(block);
+            ++report.blocksPoisoned;
+            poisoned_any = true;
+            continue;
+        }
+        if (chip == dataChips) {
+            // Parity lane: recompute the RS check bytes from the
+            // (just-scrubbed) data beats.
+            std::vector<GfElem> data(rsCodec.k());
+            for (unsigned c = 0; c < dataChips; ++c) {
+                const std::uint8_t *beat = chipBeat(c, block);
+                for (unsigned b = 0; b < chipBeatBytes; ++b)
+                    data[c * chipBeatBytes + b] = beat[b];
+            }
+            const auto cw = rsCodec.encode(data);
+            std::uint8_t *parity = chipBeat(dataChips, block);
+            for (unsigned b = 0; b < geom.rsCheckBytes; ++b)
+                parity[b] = static_cast<std::uint8_t>(cw[b]);
+            ++report.blocksFilled;
+            continue;
+        }
+        std::vector<GfElem> word = assembleRsWord(block);
+        const auto res =
+            rsCodec.decode(word, erasures, static_cast<int>(threshold));
+        if (res.status == DecodeStatus::Uncorrectable) {
+            recCounters.count(RecoveryOutcome::DetectedUE);
+            poisonBlock(block);
+            ++report.blocksPoisoned;
+            poisoned_any = true;
+            continue;
+        }
+        std::uint8_t *beat = chipBeat(chip, block);
+        for (unsigned b = 0; b < chipBeatBytes; ++b)
+            beat[b] = static_cast<std::uint8_t>(
+                word[geom.rsCheckBytes + chip * chipBeatBytes + b]);
+        ++report.blocksFilled;
+    }
+
+    // The rebuilt lane's code bits are garbage until re-encoded from
+    // the filled beats; a poisoned block additionally zeroed every
+    // chip's beats (media and golden), so the whole span's code must
+    // be resynchronized, exactly like crashRecovery() phase 3. The
+    // zero RS parity a poison leaves is already consistent (the code
+    // is linear), so only VLEW code bits need work.
+    auto reencode = [&](unsigned c) {
+        BitVec data(vlewCodec.k());
+        data.setBytes(0, &chipStore[c][vlew * geom.vlewDataBytes],
+                      geom.vlewDataBytes);
+        const BitVec check = vlewCodec.encodeDelta(data);
+        codeStore[c][vlew].copyRange(0, check, 0, vlewCodec.r());
+    };
+    if (poisoned_any) {
+        for (unsigned c = 0; c <= dataChips; ++c) {
+            reencode(c);
+            BitVec g(vlewCodec.k());
+            g.setBytes(0, &goldenStore[c][vlew * geom.vlewDataBytes],
+                       geom.vlewDataBytes);
+            const BitVec gcheck = vlewCodec.encodeDelta(g);
+            goldenCode[c][vlew].copyRange(0, gcheck, 0, vlewCodec.r());
+        }
+    } else {
+        reencode(chip);
+    }
+    return report;
+}
+
+void
+PmRank::clearStuckCells(unsigned chip)
+{
+    NVCK_ASSERT(chip <= dataChips, "chip out of range");
+    std::fill(stuckMask[chip].begin(), stuckMask[chip].end(),
+              static_cast<std::uint8_t>(0));
+    std::fill(stuckVal[chip].begin(), stuckVal[chip].end(),
+              static_cast<std::uint8_t>(0));
+}
+
 std::uint64_t
 PmRank::injectErrors(Rng &rng, double rber)
 {

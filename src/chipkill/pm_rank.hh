@@ -241,6 +241,36 @@ class PmRank
     /** Garble an entire chip (0..7 data, 8 = parity). */
     void failChip(unsigned chip, Rng &rng);
 
+    /** What one rebuildLaneSpan() call did. */
+    struct LaneRebuildReport
+    {
+        unsigned blocksFilled = 0;   //!< beats reconstructed
+        unsigned blocksPoisoned = 0; //!< declared UE (reported)
+    };
+
+    /**
+     * Hot-spare lane rebuild: reconstruct @p chip's beats for one VLEW
+     * span (blocks [vlew*32, (vlew+1)*32)) by RS erasure correction
+     * (parity recomputation when @p chip is the parity chip) and
+     * re-encode the lane's VLEW code bits for that span. The eight
+     * erasures consume the whole RS budget, so the survivors are
+     * expected to have been scrubbed immediately beforehand — a
+     * survivor whose VLEW was uncorrectable must be flagged in
+     * @p distrust_mask, and the span is then poisoned (reported UE)
+     * instead of risking a silent version-mixed fill, mirroring the
+     * crashRecovery() guard.
+     */
+    LaneRebuildReport rebuildLaneSpan(unsigned chip, unsigned vlew,
+                                      unsigned threshold = 2,
+                                      std::uint16_t distrust_mask = 0);
+
+    /**
+     * Drop a chip's stuck-cell map: the physical device behind the
+     * lane was replaced (spare engaged, or repaired chip swapped in),
+     * and wear-out damage belongs to the device, not the lane.
+     */
+    void clearStuckCells(unsigned chip);
+
     /**
      * Disable a worn-out block (Section V-E): logically zero its
      * contribution to each chip's VLEW and update code bits.

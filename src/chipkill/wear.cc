@@ -116,6 +116,33 @@ WearLevelledRank::wearImbalance() const
     return static_cast<double>(peak) / mean;
 }
 
+std::vector<std::uint64_t>
+WearLevelledRank::spanWrites(unsigned span_blocks) const
+{
+    NVCK_ASSERT(span_blocks >= 1, "span must cover at least one block");
+    const unsigned spans =
+        (memory.blocks() + span_blocks - 1) / span_blocks;
+    std::vector<std::uint64_t> out(spans, 0);
+    for (unsigned f = 0; f < mapper.frames(); ++f)
+        out[f / span_blocks] += writes[f];
+    return out;
+}
+
+std::vector<unsigned>
+wearPatrolOrder(const std::vector<std::uint64_t> &wear)
+{
+    std::vector<unsigned> order(wear.size());
+    for (unsigned i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&wear](unsigned a, unsigned b) {
+                         if (wear[a] != wear[b])
+                             return wear[a] > wear[b];
+                         return a < b;
+                     });
+    return order;
+}
+
 BitVec
 EccRotation::rotate(const BitVec &logical) const
 {

@@ -98,7 +98,15 @@ class WearLevelledRank
     /** max/mean frame-write ratio; 1.0 = perfectly level. */
     double wearImbalance() const;
 
+    /**
+     * Frame-write counts aggregated per VLEW span of @p span_blocks
+     * frames — the granularity the patrol scrubber schedules at.
+     */
+    std::vector<std::uint64_t> spanWrites(unsigned span_blocks) const;
+
     PmRank &rank() { return memory; }
+    /** The start-gap mapping, for patrol addressing. */
+    const StartGapMapper &gapMapper() const { return mapper; }
     unsigned migrations() const { return moveCount; }
 
   private:
@@ -107,6 +115,17 @@ class WearLevelledRank
     std::vector<std::uint64_t> writes;
     unsigned moveCount = 0;
 };
+
+/**
+ * Deterministic hottest-first patrol order: span indices sorted by
+ * descending wear count, ties broken by ascending index. Exact integer
+ * comparison only (no libm, no floating point), so the order — and
+ * every scrub schedule derived from it — replays identically on any
+ * host. Used by the RAS patrol scrubber to spend its bounded read
+ * budget on the rows most likely to have worn cells (Section V-E).
+ */
+std::vector<unsigned>
+wearPatrolOrder(const std::vector<std::uint64_t> &wear);
 
 /**
  * ECC-cell rotation [88]: per refresh epoch the code bits occupy a

@@ -4,9 +4,11 @@
 #include <cstring>
 #include <string>
 
+#include "chipkill/wear.hh"
 #include "common/env.hh"
 #include "common/log.hh"
 #include "common/table.hh"
+#include "sim/spare.hh"
 
 namespace nvck {
 
@@ -22,6 +24,15 @@ RasConfig::fromEnv()
         cfg.killThreshold = *v;
     if (const auto v = envPositive("NVCK_RAS_DECAY"))
         cfg.decayInterval = nsToTicks(static_cast<double>(*v));
+    if (const auto v = envChoice("NVCK_SPARE_ARMED", {"off", "on"}))
+        cfg.spareEnabled = (*v == 1);
+    if (const auto v = envPositive("NVCK_SPARE_REBUILD_BLOCKS"))
+        cfg.rebuildBlocksPerStep = static_cast<unsigned>(*v);
+    if (const auto v = envPositive("NVCK_SPARE_REBUILD_INTERVAL"))
+        cfg.rebuildStepInterval = nsToTicks(static_cast<double>(*v));
+    if (const auto v = envChoice("NVCK_RAS_PATROL_ORDER",
+                                 {"wear", "addr"}))
+        cfg.wearAwarePatrol = (*v == 0);
     return cfg;
 }
 
@@ -87,6 +98,12 @@ HealthLedger::resetRow(unsigned row)
     rowBuckets.at(row).level = 0;
 }
 
+void
+HealthLedger::resetChip(unsigned chip)
+{
+    chipBuckets.at(chip).level = 0;
+}
+
 // RasEngine -----------------------------------------------------------
 
 const char *
@@ -101,6 +118,12 @@ rasStateName(RasState state)
         return "migrating";
       case RasState::Degraded:
         return "degraded";
+      case RasState::Rebuilding:
+        return "rebuilding";
+      case RasState::Spared:
+        return "spared";
+      case RasState::MigratingBack:
+        return "migrating-back";
       case RasState::Unrecoverable:
         return "unrecoverable";
     }
@@ -113,37 +136,70 @@ RasEngine::RasEngine(System &system, const RasConfig &config,
     : sys(system), cfg(config), cb(std::move(callbacks)),
       rankBlocks(rank_blocks), spanBlocks(span_blocks),
       spans(rank_blocks / span_blocks),
-      // One bucket per lockstep chip (8 data + parity), one per span.
-      healthLedger(9, rank_blocks / span_blocks, config)
+      // One bucket per lockstep chip (8 data + parity), plus one for
+      // the spare device's own health; one row bucket per span.
+      healthLedger(lockstepChips + 1, rank_blocks / span_blocks,
+                   config)
 {
     NVCK_ASSERT(spanBlocks > 0 && rankBlocks % spanBlocks == 0,
                 "rank must hold whole patrol spans");
-    NVCK_ASSERT(cfg.patrolInterval > 0 && cfg.migrateStepInterval > 0,
+    NVCK_ASSERT(cfg.patrolInterval > 0 && cfg.migrateStepInterval > 0 &&
+                    cfg.rebuildStepInterval > 0,
                 "RAS intervals must be positive");
     patrolEv = sys.events().makeRecurring([this] { patrolTick(); });
     migrateEv = sys.events().makeRecurring([this] { migrateTick(); });
+    spareEv = sys.events().makeRecurring([this] { spareTick(); });
+    wearCount.assign(spans, 0);
     scratch.reserve(16);
 }
 
 void
 RasEngine::start()
 {
+    patrolArmed = true;
     sys.events().rearm(patrolEv, sys.now() + cfg.patrolInterval);
 }
 
 void
 RasEngine::patrolTick()
 {
-    if (st != RasState::Healthy)
+    if (st != RasState::Healthy && st != RasState::Spared) {
+        patrolArmed = false;
         return; // failover owns the rank now; stop rearming
+    }
     sys.events().rearm(patrolEv, sys.now() + cfg.patrolInterval);
     if (sys.memory().readQueueSize() != 0) {
         // Yield the cycle to demand reads (bounded-bandwidth patrol).
         ++rasStats.patrolYields;
         return;
     }
-    if (issueBurst(patrolCursor % spans, false))
+    if (issueBurst(nextPatrolSpan(), false))
         ++patrolCursor;
+}
+
+unsigned
+RasEngine::nextPatrolSpan()
+{
+    const unsigned pos = patrolCursor % spans;
+    if (!cfg.wearAwarePatrol)
+        return pos;
+    // Re-rank once per round: spans sorted by demand-write wear,
+    // hottest first (exact integer comparison, ties by address), so
+    // the bounded patrol budget lands on the rows most likely to hold
+    // worn cells. Within a round the schedule is frozen — every span
+    // is still visited exactly once before any is revisited.
+    if (pos == 0 || patrolQueue.size() != spans)
+        patrolQueue = wearPatrolOrder(wearCount);
+    return patrolQueue[pos];
+}
+
+void
+RasEngine::resumePatrol()
+{
+    if (patrolArmed)
+        return;
+    patrolArmed = true;
+    sys.events().rearm(patrolEv, sys.now() + cfg.patrolInterval);
 }
 
 bool
@@ -214,7 +270,7 @@ RasEngine::patrolReadDone(std::uint32_t join)
 void
 RasEngine::patrolComplete(unsigned span)
 {
-    if (st != RasState::Healthy) {
+    if (st != RasState::Healthy && st != RasState::Spared) {
         // The burst was in flight when the kill landed; its spans now
         // belong to the failover path, so the check is dropped.
         ++rasStats.patrolDropped;
@@ -241,7 +297,12 @@ RasEngine::noteChipErrors(unsigned chip, std::uint64_t weight)
 {
     ++rasStats.ledgerEvents;
     switch (st) {
-      case RasState::Healthy: {
+      case RasState::Healthy:
+      case RasState::Spared: {
+        // In Spared the killed chip's lane lives on the spare, so
+        // fresh evidence against it is real (spare decay) and the
+        // crossing triggers a second failover — degraded this time,
+        // since the one spare is already consumed.
         const std::uint64_t level =
             healthLedger.recordChip(chip, weight, sys.now());
         if (level >= cfg.killThreshold && !killQueued) {
@@ -259,9 +320,13 @@ RasEngine::noteChipErrors(unsigned chip, std::uint64_t weight)
       case RasState::Draining:
         return; // transition already committed
       case RasState::Migrating:
-      case RasState::Degraded: {
+      case RasState::Degraded:
+      case RasState::Rebuilding:
+      case RasState::MigratingBack: {
         if (chip == killed)
-            return; // expected erasure evidence from the dead chip
+            return; // expected erasure evidence from the dead lane
+                    // (the spare's own trouble arrives via
+                    // noteSpareErrors instead)
         const std::uint64_t level =
             healthLedger.recordChip(chip, weight, sys.now());
         if (level >= cfg.killThreshold) {
@@ -280,9 +345,32 @@ RasEngine::noteChipErrors(unsigned chip, std::uint64_t weight)
 }
 
 void
+RasEngine::noteSpareErrors(std::uint64_t weight)
+{
+    if (st != RasState::Rebuilding)
+        return;
+    ++rasStats.ledgerEvents;
+    const std::uint64_t level =
+        healthLedger.recordChip(spareBucket, weight, sys.now());
+    if (level >= cfg.spareKillThreshold && !abandonQueued) {
+        abandonQueued = true;
+        // Observed inside controller callbacks; the fallback re-enters
+        // the controller (drainPmEur), so it runs one event later.
+        sys.events().schedule(sys.now(), [this] { abandonSpare(); });
+    }
+}
+
+void
+RasEngine::noteRowWrite(unsigned row)
+{
+    NVCK_ASSERT(row < spans, "wear row out of range");
+    ++wearCount[row];
+}
+
+void
 RasEngine::noteRowErrors(unsigned row, std::uint64_t weight)
 {
-    if (st != RasState::Healthy)
+    if (st != RasState::Healthy && st != RasState::Spared)
         return;
     const std::uint64_t level =
         healthLedger.recordRow(row, weight, sys.now());
@@ -295,7 +383,7 @@ RasEngine::noteRowErrors(unsigned row, std::uint64_t weight)
     targetedQueued = true;
     sys.events().schedule(sys.now(), [this, row] {
         targetedQueued = false;
-        if (st == RasState::Healthy)
+        if (st == RasState::Healthy || st == RasState::Spared)
             issueBurst(row, true);
     });
 }
@@ -303,19 +391,135 @@ RasEngine::noteRowErrors(unsigned row, std::uint64_t weight)
 void
 RasEngine::beginFailover()
 {
-    if (st != RasState::Healthy)
+    if (st != RasState::Healthy && st != RasState::Spared)
         return;
     st = RasState::Draining;
     ++rasStats.killsDetected;
     // Every in-flight coalesced code delta retires through the normal
-    // row-close path before the per-chip VLEW layout is abandoned.
+    // row-close path before the lane layout changes underneath it.
     rasStats.drainedAtFailover += sys.memory().drainPmEur();
+    if (cfg.spareEnabled && !spareUsed) {
+        // A spare is armed: rebuild the dead chip's lanes onto it and
+        // keep the full-strength per-chip layout instead of dropping
+        // to the storage-degraded striping.
+        spareUsed = true;
+        ++rasStats.rebuildsStarted;
+        rebuilt = 0;
+        if (cb.onRebuildStart)
+            cb.onRebuildStart(killed);
+        st = RasState::Rebuilding;
+        if (rasStats.engagedAt == 0) {
+            accessesAtEngage = accessCount;
+            rasStats.engagedAt = sys.now();
+        }
+        sys.events().rearm(spareEv,
+                           sys.now() + cfg.rebuildStepInterval);
+        return;
+    }
+    engageDegraded();
+}
+
+void
+RasEngine::engageDegraded()
+{
     if (cb.onFailoverStart)
         cb.onFailoverStart(killed);
     st = RasState::Migrating;
-    accessesAtEngage = accessCount;
-    rasStats.engagedAt = sys.now();
+    // A second engagement (spare abandoned, or a kill after Spared)
+    // keeps the first detection's latency bookkeeping.
+    if (rasStats.engagedAt == 0) {
+        accessesAtEngage = accessCount;
+        rasStats.engagedAt = sys.now();
+    }
     sys.events().rearm(migrateEv, sys.now() + cfg.migrateStepInterval);
+}
+
+void
+RasEngine::abandonSpare()
+{
+    abandonQueued = false;
+    if (st != RasState::Rebuilding)
+        return; // the rebuild already finished before the event ran
+    st = RasState::Draining;
+    ++rasStats.spareAbandons;
+    // Demand writes kept landing in the per-chip layout while the
+    // rebuild ran; retire their coalesced code deltas before the
+    // degraded migration starts reading spans.
+    rasStats.drainedAtFailover += sys.memory().drainPmEur();
+    if (cb.onSpareAbandoned)
+        cb.onSpareAbandoned(killed);
+    engageDegraded();
+}
+
+void
+RasEngine::chipReplaced()
+{
+    NVCK_ASSERT(st == RasState::Spared,
+                "chip replacement outside the Spared state");
+    st = RasState::MigratingBack;
+    migratedBack = 0;
+    sys.events().rearm(spareEv, sys.now() + cfg.rebuildStepInterval);
+}
+
+void
+RasEngine::spareTick()
+{
+    if (st == RasState::Rebuilding) {
+        const unsigned before = rebuilt;
+        unsigned n;
+        if (cb.rebuildStep)
+            n = cb.rebuildStep(cfg.rebuildBlocksPerStep);
+        else
+            n = std::min(cfg.rebuildBlocksPerStep,
+                         rankBlocks - rebuilt);
+        rebuilt = std::min(rebuilt + n, rankBlocks);
+        rasStats.rebuiltBlocks += rebuilt - before;
+        issueOverheadPairs(rebuilt - before, before);
+        if (rebuilt >= rankBlocks) {
+            st = RasState::Spared;
+            rasStats.sparedAt = sys.now();
+            killQueued = false; // re-arm detection for a second kill
+            if (cb.onSpared)
+                cb.onSpared();
+            resumePatrol();
+            return;
+        }
+        sys.events().rearm(spareEv,
+                           sys.now() + cfg.rebuildStepInterval);
+        return;
+    }
+    if (st == RasState::MigratingBack) {
+        const unsigned before = migratedBack;
+        unsigned n;
+        if (cb.migrateBackStep)
+            n = cb.migrateBackStep(cfg.rebuildBlocksPerStep);
+        else
+            n = std::min(cfg.rebuildBlocksPerStep,
+                         rankBlocks - migratedBack);
+        migratedBack = std::min(migratedBack + n, rankBlocks);
+        rasStats.migratedBackBlocks += migratedBack - before;
+        issueOverheadPairs(migratedBack - before, before);
+        if (migratedBack >= rankBlocks) {
+            st = RasState::Healthy;
+            ++rasStats.repairs;
+            rasStats.repairedAt = sys.now();
+            // The spare is re-armed and the replacement device starts
+            // with a clean slate in the ledger.
+            spareUsed = false;
+            killQueued = false;
+            rebuilt = 0;
+            healthLedger.resetChip(killed);
+            healthLedger.resetChip(spareBucket);
+            if (cb.onRepairComplete)
+                cb.onRepairComplete();
+            resumePatrol();
+            return;
+        }
+        sys.events().rearm(spareEv,
+                           sys.now() + cfg.rebuildStepInterval);
+        return;
+    }
+    // State changed mid-flight (spare abandoned): stop rearming.
 }
 
 void
@@ -332,14 +536,29 @@ RasEngine::migrateTick()
     }
     migrated += n;
     rasStats.migratedBlocks += n;
+    issueOverheadPairs(n, before);
 
-    // Model the migration's bus cost: a bounded burst of overhead
+    if (migrated >= rankBlocks) {
+        st = RasState::Degraded;
+        rasStats.completedAt = sys.now();
+        if (cb.onFailoverComplete)
+            cb.onFailoverComplete();
+        return;
+    }
+    sys.events().rearm(migrateEv,
+                       sys.now() + cfg.migrateStepInterval);
+}
+
+void
+RasEngine::issueOverheadPairs(unsigned count, unsigned first_block)
+{
+    // Model the copy's bus cost: a bounded burst of overhead
     // read+write pairs over the blocks just moved, interleaved with
     // (and backpressured by) demand traffic.
     const Addr pm_base = sys.config().space.pmBase;
-    for (unsigned k = 0; k < std::min(n, 4u); ++k) {
+    for (unsigned k = 0; k < std::min(count, 4u); ++k) {
         const Addr addr =
-            pm_base + static_cast<Addr>(before + k) * blockBytes;
+            pm_base + static_cast<Addr>(first_block + k) * blockBytes;
         for (const MemOp op : {MemOp::Read, MemOp::Write}) {
             MemRequest req;
             req.addr = addr;
@@ -352,16 +571,6 @@ RasEngine::migrateTick()
                 ++rasStats.migrationTrafficDropped;
         }
     }
-
-    if (migrated >= rankBlocks) {
-        st = RasState::Degraded;
-        rasStats.completedAt = sys.now();
-        if (cb.onFailoverComplete)
-            cb.onFailoverComplete();
-        return;
-    }
-    sys.events().rearm(migrateEv,
-                       sys.now() + cfg.migrateStepInterval);
 }
 
 // OnlineFailover ------------------------------------------------------
@@ -460,6 +669,18 @@ RasMirror::RasMirror(System &system, PmRank &pm_rank, PersistOracle &po,
     };
     cbs.onFailoverComplete = [this] { completed_ = true; };
     cbs.onUnrecoverable = [this](unsigned) { unrecoverable_ = true; };
+    cbs.onRebuildStart = [this](unsigned chip) { onRebuildStart(chip); };
+    cbs.rebuildStep = [this](unsigned max) {
+        return spareRebuildStep(max);
+    };
+    cbs.onSpared = [this] { spared_ = true; };
+    cbs.onSpareAbandoned = [this](unsigned chip) {
+        onSpareAbandonedCb(chip);
+    };
+    cbs.migrateBackStep = [this](unsigned max) {
+        return spareBackStep(max);
+    };
+    cbs.onRepairComplete = [this] { repaired_ = true; };
     eng = std::make_unique<RasEngine>(sys, rasCfg, rank.blocks(),
                                       spanBlocks, std::move(cbs));
 
@@ -475,6 +696,10 @@ RasMirror::RasMirror(System &system, PmRank &pm_rank, PersistOracle &po,
     };
     sys.memory().setCrashHooks(std::move(hooks));
 }
+
+// Out of line so the header can hold SpareChip behind a forward
+// declaration.
+RasMirror::~RasMirror() = default;
 
 unsigned
 RasMirror::blockOf(Addr addr) const
@@ -543,6 +768,7 @@ void
 RasMirror::demandWrite(unsigned block, unsigned bank, unsigned slot)
 {
     eng->noteAccess();
+    eng->noteRowWrite(spanOf(block));
     ++n.demandWrites;
 
     std::uint8_t value[blockBytes];
@@ -659,11 +885,26 @@ RasMirror::demandRead(unsigned block)
         break;
     }
 
+    const bool rebuilding =
+        spare && eng->state() == RasState::Rebuilding;
     for (unsigned c = 0; c < rank.chips(); ++c) {
+        std::uint64_t w = 0;
         if (read.chipErasureMask & (1u << c))
-            eng->noteChipErrors(c, rasCfg.erasureWeight);
+            w = rasCfg.erasureWeight;
         else if (read.chipCorrectionMask & (1u << c))
-            eng->noteChipErrors(c, 1);
+            w = 1;
+        if (w == 0)
+            continue;
+        if (rebuilding && c == spare->servedChip()) {
+            // Below the rebuild watermark the spare device serves the
+            // lane, so trouble there is the spare's own health; above
+            // it the dead device's erasures are expected and carry no
+            // information.
+            if (block < spare->watermark())
+                eng->noteSpareErrors(w);
+            continue;
+        }
+        eng->noteChipErrors(c, w);
     }
     const unsigned total = read.rsCorrections + read.vlewBitCorrections;
     if (total > 0)
@@ -697,9 +938,77 @@ RasMirror::migrateStep(unsigned max_blocks)
 void
 RasMirror::onFailoverStart(unsigned chip)
 {
-    engaged_ = true;
-    accessesAtEngage = eng->accesses();
+    if (!engaged_) {
+        engaged_ = true;
+        accessesAtEngage = eng->accesses();
+    }
     failover = std::make_unique<OnlineFailover>(rank, chip, threshold);
+}
+
+void
+RasMirror::onRebuildStart(unsigned chip)
+{
+    if (!engaged_) {
+        engaged_ = true;
+        accessesAtEngage = eng->accesses();
+    }
+    spare = std::make_unique<SpareChip>(rank, threshold);
+    spare->beginRebuild(chip);
+}
+
+unsigned
+RasMirror::spareRebuildStep(unsigned max_blocks)
+{
+    if (!spare || spare->rebuildDone())
+        return 0;
+    const unsigned start = spare->watermark();
+    const unsigned span_lo = start / spanBlocks;
+    const unsigned nspans =
+        std::max(1u, (max_blocks + spanBlocks - 1) / spanBlocks);
+    const unsigned span_hi =
+        std::min(span_lo + nspans, rank.blocks() / spanBlocks);
+    // The survivor scrub and erasure fills are VLEW-touching: fold any
+    // demand writes' pending code deltas in first (chip-internal EUR
+    // merge), exactly like migrateStep().
+    for (unsigned s = span_lo; s < span_hi; ++s)
+        retireSpan(s);
+    const unsigned done = spare->rebuildStep(max_blocks, &spareScratch);
+    // The survivor scrub doubles as patrol evidence for the ledger.
+    for (unsigned c = 0; c < spareScratch.size(); ++c) {
+        if (c == spare->servedChip())
+            continue;
+        const int corr = spareScratch[c];
+        if (corr < 0)
+            eng->noteChipErrors(c, rasCfg.erasureWeight);
+        else if (corr > 0)
+            eng->noteChipErrors(c, static_cast<std::uint64_t>(corr));
+    }
+    return done;
+}
+
+unsigned
+RasMirror::spareBackStep(unsigned max_blocks)
+{
+    if (!spare || spare->migrateBackDone())
+        return 0;
+    const unsigned start = spare->backWatermark();
+    const unsigned span_lo = start / spanBlocks;
+    const unsigned nspans =
+        std::max(1u, (max_blocks + spanBlocks - 1) / spanBlocks);
+    const unsigned span_hi =
+        std::min(span_lo + nspans, rank.blocks() / spanBlocks);
+    for (unsigned s = span_lo; s < span_hi; ++s)
+        retireSpan(s);
+    return spare->migrateBackStep(max_blocks);
+}
+
+void
+RasMirror::onSpareAbandonedCb(unsigned chip)
+{
+    (void)chip;
+    spareAbandoned_ = true;
+    if (spare)
+        spare->abandon();
 }
 
 void
@@ -797,6 +1106,14 @@ RasTally::operator+=(const RasTally &other)
     falseKills += other.falseKills;
     missedFailovers += other.missedFailovers;
     engageOverruns += other.engageOverruns;
+    rebuilds += other.rebuilds;
+    rebuiltBlocks += other.rebuiltBlocks;
+    spared += other.spared;
+    spareAbandons += other.spareAbandons;
+    repairs += other.repairs;
+    survivorBits += other.survivorBits;
+    missedSpares += other.missedSpares;
+    missedRepairs += other.missedRepairs;
     violations += other.violations;
     return *this;
 }
@@ -948,7 +1265,9 @@ runRasTrial(const RasTrialConfig &tc, Rng &rng)
     sys.start();
     sys.runUntil(tc.horizon);
     if (eng.state() == RasState::Draining ||
-        eng.state() == RasState::Migrating)
+        eng.state() == RasState::Migrating ||
+        eng.state() == RasState::Rebuilding ||
+        eng.state() == RasState::MigratingBack)
         sys.runUntil(tc.horizon + tc.failoverSlack);
 
     mirror.finalCheck(tally);
@@ -964,6 +1283,13 @@ runRasTrial(const RasTrialConfig &tc, Rng &rng)
     tally.failovers = mirror.completed() ? 1 : 0;
     tally.migrated = es.migratedBlocks;
     tally.drainedAtFailover = es.drainedAtFailover;
+    tally.rebuilds = es.rebuildsStarted;
+    tally.rebuiltBlocks = es.rebuiltBlocks;
+    tally.spared = mirror.spared() ? 1 : 0;
+    tally.spareAbandons = es.spareAbandons;
+    tally.repairs = es.repairs;
+    if (const SpareChip *sp = mirror.spareChip())
+        tally.survivorBits = sp->survivorBitsFixed();
     tally.demandReads = mc.demandReads;
     tally.demandWrites = mc.demandWrites;
     tally.rsFixes = mc.rsFixes;

@@ -92,10 +92,26 @@ struct RasConfig
     unsigned migrateBlocksPerStep = 32;
     /** Pacing between migration steps. */
     Tick migrateStepInterval = nsToTicks(60);
+    /** A spare chip is provisioned and armed (NVCK_SPARE_ARMED). */
+    bool spareEnabled = false;
+    /** Blocks rebuilt onto the spare per step
+     *  (NVCK_SPARE_REBUILD_BLOCKS; rounded up to whole spans). */
+    unsigned rebuildBlocksPerStep = 32;
+    /** Pacing between rebuild / migrate-back steps
+     *  (NVCK_SPARE_REBUILD_INTERVAL, ns). */
+    Tick rebuildStepInterval = nsToTicks(60);
+    /** Spare-bucket level that abandons the rebuild and falls back to
+     *  the degraded layout (the spare itself is failing). */
+    std::uint64_t spareKillThreshold = 48;
+    /** Patrol visits spans hottest-first by demand-write wear
+     *  (NVCK_RAS_PATROL_ORDER=wear|addr). */
+    bool wearAwarePatrol = true;
 
     /**
-     * Apply NVCK_RAS_PATROL / NVCK_RAS_THRESHOLD / NVCK_RAS_DECAY on
-     * top of the defaults (strict parse: garbage exits with status 2).
+     * Apply NVCK_RAS_PATROL / NVCK_RAS_THRESHOLD / NVCK_RAS_DECAY /
+     * NVCK_SPARE_ARMED / NVCK_SPARE_REBUILD_BLOCKS /
+     * NVCK_SPARE_REBUILD_INTERVAL / NVCK_RAS_PATROL_ORDER on top of
+     * the defaults (strict parse: garbage exits with status 2).
      */
     static RasConfig fromEnv();
 };
@@ -127,6 +143,9 @@ class HealthLedger
     /** Empty a row bucket (after its targeted scrub fired). */
     void resetRow(unsigned row);
 
+    /** Empty a chip bucket (the device behind it was replaced). */
+    void resetChip(unsigned chip);
+
     unsigned chips() const
     {
         return static_cast<unsigned>(chipBuckets.size());
@@ -152,13 +171,16 @@ class HealthLedger
     std::vector<Bucket> rowBuckets;
 };
 
-/** Failover state machine. */
+/** Failover / hot-sparing state machine. */
 enum class RasState
 {
     Healthy,       //!< patrol running, ledger armed
     Draining,      //!< kill detected; EUR state draining
     Migrating,     //!< per-span migration interleaved with traffic
     Degraded,      //!< serving from the DegradedRank layout
+    Rebuilding,    //!< dead chip's lanes rebuilding onto the spare
+    Spared,        //!< spare carries the lane; full code strength
+    MigratingBack, //!< spare copying back to the replacement chip
     Unrecoverable, //!< a second chip crossed; reads report UE
 };
 
@@ -181,9 +203,16 @@ struct RasStats
     std::uint64_t drainedAtFailover = 0;
     std::uint64_t migratedBlocks = 0;
     std::uint64_t migrationTrafficDropped = 0;
+    std::uint64_t rebuildsStarted = 0;  //!< spare engagements
+    std::uint64_t rebuiltBlocks = 0;    //!< blocks rebuilt onto spare
+    std::uint64_t spareAbandons = 0;    //!< spare failed mid-rebuild
+    std::uint64_t repairs = 0;          //!< migrate-backs completed
+    std::uint64_t migratedBackBlocks = 0;
     Tick detectedAt = 0; //!< kill threshold crossing
     Tick engagedAt = 0;  //!< migration started (EUR drained)
     Tick completedAt = 0;
+    Tick sparedAt = 0;   //!< spare rebuild completed
+    Tick repairedAt = 0; //!< migrate-back completed
 };
 
 /**
@@ -208,6 +237,20 @@ class RasEngine
         std::function<void()> onFailoverComplete;
         /** A second chip crossed the kill threshold. */
         std::function<void(unsigned chip)> onUnrecoverable;
+        /** EUR drained; spare rebuild is about to start for @p chip. */
+        std::function<void(unsigned chip)> onRebuildStart;
+        /** Rebuild up to @p max_blocks onto the spare; returns how
+         *  many (rounded up to whole VLEW spans). */
+        std::function<unsigned(unsigned max_blocks)> rebuildStep;
+        /** Rebuild complete; the rank is back at full code strength. */
+        std::function<void()> onSpared;
+        /** The spare itself crossed its kill threshold mid-rebuild;
+         *  degraded failover for @p chip starts next. */
+        std::function<void(unsigned chip)> onSpareAbandoned;
+        /** Copy up to @p max_blocks back to the replacement chip. */
+        std::function<unsigned(unsigned max_blocks)> migrateBackStep;
+        /** Migrate-back complete; spare re-armed, state Healthy. */
+        std::function<void()> onRepairComplete;
     };
 
     RasEngine(System &system, const RasConfig &config,
@@ -230,13 +273,35 @@ class RasEngine
     /** Feed row-granularity evidence; may schedule a targeted scrub. */
     void noteRowErrors(unsigned row, std::uint64_t weight);
 
+    /**
+     * Feed a correction event attributed to the spare device while it
+     * is rebuilding. Crossing RasConfig::spareKillThreshold abandons
+     * the spare (deferred one event) and falls back to the degraded
+     * failover for the originally killed chip.
+     */
+    void noteSpareErrors(std::uint64_t weight);
+
+    /** Account one demand write to @p row for wear-aware patrol. */
+    void noteRowWrite(unsigned row);
+
+    /**
+     * Operator serviced the DIMM: the failed chip was physically
+     * replaced. Legal only in the Spared state; starts the paced
+     * migrate-back of the spare's contents onto the new device.
+     */
+    void chipReplaced();
+
     /** Count a demand PM access (failover-latency bookkeeping). */
     void noteAccess() { ++accessCount; }
 
     RasState state() const { return st; }
     unsigned killedChip() const { return killed; }
+    /** The spare is carrying (or has carried) a lane. */
+    bool spareEngaged() const { return spareUsed; }
     /** Blocks below this index are served by the degraded layout. */
     unsigned watermark() const { return migrated; }
+    /** Blocks below this index are already rebuilt onto the spare. */
+    unsigned rebuildWatermark() const { return rebuilt; }
     std::uint64_t accesses() const { return accessCount; }
     /** Demand accesses between kill detection and migration start. */
     std::uint64_t engageAccesses() const
@@ -258,14 +323,28 @@ class RasEngine
     };
 
     static constexpr std::uint32_t noJoin = UINT32_MAX;
+    /** Lockstep chips (8 data + parity); ledger bucket indices. */
+    static constexpr unsigned lockstepChips = 9;
+    /** Ledger bucket tracking the spare device's own health. */
+    static constexpr unsigned spareBucket = lockstepChips;
 
     void patrolTick();
     /** Issue one patrol burst over @p span; false if nothing issued. */
     bool issueBurst(unsigned span, bool targeted);
     void patrolReadDone(std::uint32_t join);
     void patrolComplete(unsigned span);
+    /** Next span in the patrol schedule (wear-ordered or sequential). */
+    unsigned nextPatrolSpan();
+    /** Re-arm the patrol cycle if its event is not already pending. */
+    void resumePatrol();
     void beginFailover();
+    /** Drop to the degraded layout (no spare, or spare abandoned). */
+    void engageDegraded();
     void migrateTick();
+    void spareTick();
+    void abandonSpare();
+    /** Bus cost of a paced copy step: bounded overhead R+W pairs. */
+    void issueOverheadPairs(unsigned count, unsigned first_block);
 
     System &sys;
     RasConfig cfg;
@@ -278,13 +357,22 @@ class RasEngine
     unsigned killed = 0;
     bool killQueued = false;
     bool targetedQueued = false;
+    bool spareUsed = false;
+    bool abandonQueued = false;
     unsigned migrated = 0;
+    unsigned rebuilt = 0;
+    unsigned migratedBack = 0;
     std::uint64_t accessCount = 0;
     std::uint64_t accessesAtDetect = 0;
     std::uint64_t accessesAtEngage = 0;
     unsigned patrolCursor = 0;
+    bool patrolArmed = false;
+    /** Demand-write wear per span and the derived patrol order. */
+    std::vector<std::uint64_t> wearCount;
+    std::vector<unsigned> patrolQueue;
     EventQueue::Recurring patrolEv;
     EventQueue::Recurring migrateEv;
+    EventQueue::Recurring spareEv;
     std::vector<PatrolJoin> joins;
     std::uint32_t freeJoin = noJoin;
     unsigned joinsLive = 0;
@@ -374,6 +462,15 @@ struct RasTally
     std::uint64_t falseKills = 0;  //!< kill in a Transient-plan trial
     std::uint64_t missedFailovers = 0; //!< ChipKill without completion
     std::uint64_t engageOverruns = 0;  //!< detection latency > bound
+    /** Hot-sparing outcomes (spare campaign; zero when unarmed). */
+    std::uint64_t rebuilds = 0;      //!< spare rebuilds engaged
+    std::uint64_t rebuiltBlocks = 0; //!< blocks rebuilt onto the spare
+    std::uint64_t spared = 0;        //!< rebuilds completed
+    std::uint64_t spareAbandons = 0; //!< spare died; degraded fallback
+    std::uint64_t repairs = 0;       //!< migrate-backs completed
+    std::uint64_t survivorBits = 0;  //!< survivor bits fixed pre-fill
+    std::uint64_t missedSpares = 0;  //!< Rebuild plan without Spared
+    std::uint64_t missedRepairs = 0; //!< Repair plan without Healthy
     /** Oracle violations: must be zero. */
     std::uint64_t violations = 0;
 
@@ -389,12 +486,15 @@ struct RasTally
  * OnlineFailover), and routes accesses across the migration watermark
  * once failover starts.
  */
+class SpareChip;
+
 class RasMirror
 {
   public:
     RasMirror(System &system, PmRank &pm_rank, PersistOracle &po,
               const RasConfig &ras_cfg, unsigned threshold,
               std::uint64_t value_seed);
+    ~RasMirror();
 
     RasEngine &engine() { return *eng; }
     const RasEngine &engine() const { return *eng; }
@@ -405,6 +505,14 @@ class RasMirror
     bool engaged() const { return engaged_; }
     bool completed() const { return completed_; }
     bool unrecoverable() const { return unrecoverable_; }
+    /** Spare rebuild completed at least once. */
+    bool spared() const { return spared_; }
+    /** Migrate-back to a replacement chip completed. */
+    bool repaired() const { return repaired_; }
+    /** The spare was abandoned mid-rebuild (degraded fallback). */
+    bool spareAbandoned() const { return spareAbandoned_; }
+    /** The bit-level spare, when one has been engaged. */
+    const SpareChip *spareChip() const { return spare.get(); }
     /** Demand PM accesses between kill injection and engagement. */
     std::uint64_t detectAccesses() const;
 
@@ -443,6 +551,10 @@ class RasMirror
     void patrolCheck(unsigned span, std::vector<int> &per_chip);
     unsigned migrateStep(unsigned max_blocks);
     void onFailoverStart(unsigned chip);
+    void onRebuildStart(unsigned chip);
+    unsigned spareRebuildStep(unsigned max_blocks);
+    unsigned spareBackStep(unsigned max_blocks);
+    void onSpareAbandonedCb(unsigned chip);
 
     unsigned blockOf(Addr addr) const;
     unsigned spanOf(unsigned block) const;
@@ -471,11 +583,16 @@ class RasMirror
     /** Last value whose code fully drained on the healthy rank. */
     std::vector<PersistOracle::Value> healthySettled;
     std::unique_ptr<OnlineFailover> failover;
+    std::unique_ptr<SpareChip> spare;
     std::unique_ptr<RasEngine> eng;
+    std::vector<int> spareScratch;
     bool killInjected = false;
     bool engaged_ = false;
     bool completed_ = false;
     bool unrecoverable_ = false;
+    bool spared_ = false;
+    bool repaired_ = false;
+    bool spareAbandoned_ = false;
     std::uint64_t accessesAtInjection = 0;
     std::uint64_t accessesAtEngage = 0;
     Counts n;

@@ -1,0 +1,510 @@
+#include "spare.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "chipkill/schemes.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "sim/configs.hh"
+
+namespace nvck {
+
+// SpareChip -----------------------------------------------------------
+
+const char *
+spareStateName(SpareState state)
+{
+    switch (state) {
+      case SpareState::Armed:
+        return "armed";
+      case SpareState::Rebuilding:
+        return "rebuilding";
+      case SpareState::Active:
+        return "active";
+      case SpareState::CopyingBack:
+        return "copying-back";
+      case SpareState::Abandoned:
+        return "abandoned";
+    }
+    return "?";
+}
+
+SpareChip::SpareChip(PmRank &pm_rank, unsigned threshold)
+    : rank(pm_rank), thresh(threshold)
+{
+}
+
+void
+SpareChip::beginRebuild(unsigned failed_chip)
+{
+    NVCK_ASSERT(st == SpareState::Armed, "spare already consumed");
+    NVCK_ASSERT(failed_chip < rank.chips(), "chip out of range");
+    chip = failed_chip;
+    cursor = 0;
+    st = SpareState::Rebuilding;
+    // The failed device is fenced off the bus; its stuck cells leave
+    // the array with it (the spare is a fresh device). The lane's
+    // stored garbage stays until the rebuild overwrites it.
+    rank.clearStuckCells(chip);
+}
+
+unsigned
+SpareChip::rebuildStep(unsigned max_blocks, std::vector<int> *survivors)
+{
+    NVCK_ASSERT(st == SpareState::Rebuilding,
+                "rebuild step outside a rebuild");
+    if (survivors)
+        survivors->assign(rank.chips(), 0);
+    const unsigned span_blocks = rank.params().blocksPerVlew();
+    const unsigned nspans =
+        std::max(1u, (max_blocks + span_blocks - 1) / span_blocks);
+    const unsigned target =
+        std::min(rank.blocks(), cursor + nspans * span_blocks);
+    unsigned done = 0;
+    while (cursor < target) {
+        const unsigned span = cursor / span_blocks;
+        std::uint16_t distrust = 0;
+        // Latent survivor errors would become silent garbage in the
+        // erasure fill (eight erasures spend the whole RS budget), so
+        // scrub the survivors' VLEW words first — the same trust rule
+        // as bootScrub's rank-wide pass before its wholesale rebuild.
+        for (unsigned c = 0; c < rank.chips(); ++c) {
+            if (c == chip)
+                continue;
+            const auto res = scrub.scrubWord(rank, c, span);
+            if (res.corrections < 0) {
+                distrust |= static_cast<std::uint16_t>(1u << c);
+                if (survivors)
+                    (*survivors)[c] = -1;
+            } else if (res.corrections > 0) {
+                survivorBits +=
+                    static_cast<std::uint64_t>(res.corrections);
+                if (survivors && (*survivors)[c] >= 0)
+                    (*survivors)[c] += res.corrections;
+            }
+        }
+        const auto rep =
+            rank.rebuildLaneSpan(chip, span, thresh, distrust);
+        poisonedCount += rep.blocksPoisoned;
+        cursor += span_blocks;
+        done += span_blocks;
+    }
+    if (rebuildDone())
+        st = SpareState::Active;
+    return done;
+}
+
+void
+SpareChip::abandon()
+{
+    st = SpareState::Abandoned;
+}
+
+void
+SpareChip::beginMigrateBack()
+{
+    NVCK_ASSERT(st == SpareState::Active,
+                "migrate-back needs an active spare");
+    // The replacement is a fresh device: the old one's wear damage
+    // left the array with it.
+    rank.clearStuckCells(chip);
+    backCursor = 0;
+    st = SpareState::CopyingBack;
+}
+
+unsigned
+SpareChip::migrateBackStep(unsigned max_blocks)
+{
+    if (st == SpareState::Active)
+        beginMigrateBack();
+    NVCK_ASSERT(st == SpareState::CopyingBack,
+                "migrate-back outside a copy-back");
+    const unsigned span_blocks = rank.params().blocksPerVlew();
+    const unsigned nspans =
+        std::max(1u, (max_blocks + span_blocks - 1) / span_blocks);
+    const unsigned target =
+        std::min(rank.blocks(), backCursor + nspans * span_blocks);
+    unsigned done = 0;
+    while (backCursor < target) {
+        const unsigned span = backCursor / span_blocks;
+        // Copy-verify: read the spare's lane through its VLEW
+        // correction and write the corrected beats to the replacement
+        // device — under canonical lane storage, exactly a scrub of
+        // the span. Latent spare errors are fixed on the way instead
+        // of being copied onto the new chip.
+        const auto res = scrub.scrubWord(rank, chip, span);
+        if (res.corrections > 0)
+            latentBits += static_cast<std::uint64_t>(res.corrections);
+        backCursor += span_blocks;
+        done += span_blocks;
+    }
+    if (migrateBackDone())
+        st = SpareState::Armed; // re-armed for the next kill
+    return done;
+}
+
+// Trial ---------------------------------------------------------------
+
+const char *
+sparePlanName(SparePlan plan)
+{
+    switch (plan) {
+      case SparePlan::Unarmed:
+        return "unarmed";
+      case SparePlan::Rebuild:
+        return "rebuild";
+      case SparePlan::SpareLoss:
+        return "spare-loss";
+      case SparePlan::Repair:
+        return "repair";
+    }
+    return "?";
+}
+
+namespace {
+
+/** The fault stream one hot-sparing trial injects. Events capture
+ *  only the driver pointer (plus scalars), so the stack-local
+ *  instance fits the event queue's inline capture budget. */
+struct SpareDriver
+{
+    System &sys;
+    PmRank &rank;
+    RasMirror &mirror;
+    Rng rng;
+    SparePlan plan;
+    unsigned victim = 0;
+    bool spareKilled = false;
+    bool replaced = false;
+
+    void
+    flip(unsigned chip)
+    {
+        rank.corruptByte(
+            chip, static_cast<unsigned>(rng.below(rank.blocks())),
+            static_cast<unsigned>(rng.below(chipBeatBytes)),
+            static_cast<std::uint8_t>(1u << rng.below(8)));
+    }
+
+    void
+    transientBurst()
+    {
+        for (unsigned i = 0; i < 6; ++i)
+            flip(static_cast<unsigned>(rng.below(rank.chips())));
+    }
+
+    void
+    kill()
+    {
+        rank.failChip(victim, rng);
+        mirror.noteKillInjected();
+    }
+
+    /**
+     * Plan-specific service events, polled on a fixed cadence so the
+     * trial replays identically at any worker count: the spare device
+     * dies once the rebuild has crossed half the rank (SpareLoss), and
+     * the operator swaps the failed chip once the rank is Spared
+     * (Repair).
+     */
+    void
+    monitorTick(Tick stop, Tick step)
+    {
+        RasEngine &eng = mirror.engine();
+        if (plan == SparePlan::SpareLoss && !spareKilled &&
+            eng.state() == RasState::Rebuilding &&
+            eng.rebuildWatermark() >= rank.blocks() / 2) {
+            // The spare device dies mid-rebuild: the lane it carries
+            // reads back as garbage from here on.
+            spareKilled = true;
+            rank.failChip(victim, rng);
+        }
+        if (plan == SparePlan::Repair && !replaced &&
+            eng.state() == RasState::Spared) {
+            replaced = true;
+            eng.chipReplaced();
+        }
+        if (sys.now() + step < stop) {
+            sys.events().scheduleAfter(step, [this, stop, step] {
+                monitorTick(stop, step);
+            });
+        }
+    }
+};
+
+} // namespace
+
+RasTally
+runSpareTrial(const SpareTrialConfig &tc, Rng &rng)
+{
+    NVCK_ASSERT(tc.rankBlocks >= 64 && tc.rankBlocks % 32 == 0,
+                "rank must hold whole VLEW spans");
+    RasTally tally;
+    tally.trials = 1;
+
+    SystemConfig cfg = SystemConfig::make(
+        tc.tech, proposalScheme(runtimeRberFor(tc.tech)), "echo",
+        rng.next() | 1);
+    cfg.cores = tc.cores;
+    cfg.cache.cores = tc.cores;
+    cfg.cache.l1Bytes = 8 * 1024;
+    cfg.cache.llcBytes = 64 * 1024;
+    cfg.cache.llcWays = 8;
+    // Same compact shape as the RAS lifecycle campaign: few banks keep
+    // the rank mirrorable with real row conflicts, aggressive drain
+    // thresholds keep the EUR write path busy.
+    cfg.mem.dram.banks = tc.banks;
+    cfg.mem.pm.banks = tc.banks;
+    cfg.mem.writeMaxAge = nsToTicks(400);
+    cfg.mem.writeIdleBurst = 4;
+    cfg.mem.writeDrainHigh = 24;
+    cfg.mem.writeDrainLow = 8;
+    cfg.space.pmBase = 0;
+    cfg.space.pmBytes =
+        static_cast<std::uint64_t>(tc.rankBlocks) * blockBytes;
+    cfg.space.dramBytes = 1u << 20;
+
+    System sys(cfg, std::make_unique<CampaignWorkload>(
+                        cfg.space, tc.cores, rng.next()));
+
+    PmRank rank(tc.rankBlocks);
+    rank.initialize(rng);
+    PersistOracle oracle(tc.rankBlocks);
+    {
+        std::uint8_t buf[blockBytes];
+        for (unsigned b = 0; b < tc.rankBlocks; ++b) {
+            rank.goldenBlock(b, buf);
+            oracle.setBaseline(b, buf);
+        }
+    }
+
+    RasConfig ras = tc.ras;
+    ras.spareEnabled = (tc.plan != SparePlan::Unarmed);
+    // Spare-loss trials model a slow rebuild (a big rank behind a
+    // narrow spare bus): pacing is stretched so the spare's death is
+    // detected while the rebuild is still running — the abandon path —
+    // rather than only after completion via a Spared-state crossing.
+    if (tc.plan == SparePlan::SpareLoss &&
+        ras.rebuildStepInterval < nsToTicks(300))
+        ras.rebuildStepInterval = nsToTicks(300);
+
+    RasMirror mirror(sys, rank, oracle, ras, tc.threshold, rng.next());
+    RasEngine &eng = mirror.engine();
+
+    SpareDriver driver{sys,     rank, mirror, Rng(rng.next() | 1),
+                       tc.plan};
+    driver.victim =
+        static_cast<unsigned>(driver.rng.below(rank.chips()));
+    auto &eq = sys.events();
+    eq.schedule(tc.horizon / 10,
+                [d = &driver] { d->transientBurst(); });
+    eq.schedule(tc.horizon * 3 / 10, [d = &driver] { d->kill(); });
+    eq.schedule(tc.horizon / 5, [d = &driver, stop = tc.horizon] {
+        d->monitorTick(stop, nsToTicks(100));
+    });
+
+    eng.start();
+    sys.start();
+    sys.runUntil(tc.horizon);
+    const auto transitional = [&eng] {
+        switch (eng.state()) {
+          case RasState::Draining:
+          case RasState::Migrating:
+          case RasState::Rebuilding:
+          case RasState::MigratingBack:
+            return true;
+          default:
+            return false;
+        }
+    };
+    // A rebuild crossing the horizon (or a fallback/repair detected
+    // late) gets bounded extra time; the state machine is otherwise
+    // frozen where it stands and judged below.
+    if (transitional() ||
+        (tc.plan == SparePlan::SpareLoss && !mirror.completed()) ||
+        (tc.plan == SparePlan::Repair && !mirror.repaired()))
+        sys.runUntil(tc.horizon + tc.slack);
+
+    mirror.finalCheck(tally);
+
+    const RasStats &es = eng.stats();
+    const RasMirror::Counts &mc = mirror.counts();
+    tally.patrolBursts = es.patrolBursts;
+    tally.patrolYields = es.patrolYields;
+    tally.scrubBits = es.scrubBitsFound;
+    tally.rowAlarms = es.rowAlarms;
+    tally.targetedScrubs = es.targetedScrubs;
+    tally.kills = es.killsDetected;
+    tally.failovers = mirror.completed() ? 1 : 0;
+    tally.migrated = es.migratedBlocks;
+    tally.drainedAtFailover = es.drainedAtFailover;
+    tally.rebuilds = es.rebuildsStarted;
+    tally.rebuiltBlocks = es.rebuiltBlocks;
+    tally.spared = mirror.spared() ? 1 : 0;
+    tally.spareAbandons = es.spareAbandons;
+    tally.repairs = es.repairs;
+    tally.demandReads = mc.demandReads;
+    tally.demandWrites = mc.demandWrites;
+    tally.rsFixes = mc.rsFixes;
+    tally.vlewFallbacks = mc.vlewFallbacks;
+    tally.chipRecovered = mc.chipRecovered;
+    tally.degradedReads = mc.degradedReads;
+    tally.degradedWrites = mc.degradedWrites;
+    tally.sdc = mc.sdc;
+    tally.ue += mc.ue;
+    if (const SpareChip *sp = mirror.spareChip())
+        tally.survivorBits = sp->survivorBitsFixed();
+
+    const std::uint64_t detect = mirror.detectAccesses();
+    switch (tc.plan) {
+      case SparePlan::Unarmed:
+        // The PR-9 baseline: degraded failover must complete.
+        if (!mirror.completed())
+            ++tally.missedFailovers;
+        break;
+      case SparePlan::Rebuild:
+        // The spare must carry the lane to completion.
+        if (!mirror.spared())
+            ++tally.missedSpares;
+        break;
+      case SparePlan::SpareLoss:
+        // Whichever route detection took — abandon mid-rebuild, or a
+        // crossing right after Spared — the rank must end up fully
+        // migrated to the degraded layout.
+        if (!mirror.completed())
+            ++tally.missedFailovers;
+        break;
+      case SparePlan::Repair:
+        if (!(mirror.repaired() &&
+              eng.state() == RasState::Healthy))
+            ++tally.missedRepairs;
+        break;
+    }
+    if (mirror.engaged() && detect != UINT64_MAX) {
+        tally.detectAccessesMax = detect;
+        if (detect > tc.detectAccessBound)
+            ++tally.engageOverruns;
+    }
+
+    tally.violations = tally.sdc + tally.lostDurable + tally.ue +
+                       tally.missedFailovers + tally.missedSpares +
+                       tally.missedRepairs + tally.engageOverruns;
+
+    NVCK_ASSERT(sys.pendingStaleAcks() == 0,
+                "stale persist acks without a power cut");
+    return tally;
+}
+
+// Campaign ------------------------------------------------------------
+
+RasTally
+SpareTotals::total() const
+{
+    RasTally sum;
+    for (const auto &tech : cells) {
+        for (const auto &cell : tech)
+            sum += cell;
+    }
+    return sum;
+}
+
+namespace {
+
+/** One sweep point's result: which campaign cell it feeds. */
+struct SpareCellResult
+{
+    unsigned tech = 0;
+    unsigned plan = 0;
+    RasTally tally;
+};
+
+void
+spareTallyRow(Table &t, const std::string &label, const RasTally &c)
+{
+    t.row()
+        .cell(label)
+        .cell(c.trials)
+        .cell(c.kills)
+        .cell(c.rebuilds)
+        .cell(c.rebuiltBlocks)
+        .cell(c.spared)
+        .cell(c.spareAbandons)
+        .cell(c.repairs)
+        .cell(c.survivorBits)
+        .cell(c.failovers)
+        .cell(c.migrated)
+        .cell(c.detectAccessesMax)
+        .cell(c.sdc)
+        .cell(c.lostDurable)
+        .cell(c.ue)
+        .cell(c.missedSpares)
+        .cell(c.missedRepairs)
+        .cell(c.missedFailovers)
+        .cell(c.engageOverruns)
+        .cell(c.violations);
+}
+
+} // namespace
+
+SpareTotals
+spareCampaign(std::ostream &os, const SweepOptions &opts,
+              const SpareCampaignConfig &cfg)
+{
+    NVCK_ASSERT(cfg.chunkTrials > 0, "empty campaign chunks");
+    static const PmTech techs[numRasTechs] = {PmTech::Reram,
+                                              PmTech::Pcm};
+    ParallelSweep<SpareCellResult> sweep(cfg.seed, opts);
+
+    const unsigned cells = numRasTechs * numSparePlans;
+    unsigned cell = 0;
+    for (unsigned ti = 0; ti < numRasTechs; ++ti) {
+        for (unsigned pi = 0; pi < numSparePlans; ++pi, ++cell) {
+            std::uint64_t remaining =
+                cfg.trials / cells +
+                (cell < cfg.trials % cells ? 1 : 0);
+            for (unsigned chunk = 0; remaining > 0; ++chunk) {
+                const auto batch =
+                    std::min<std::uint64_t>(remaining, cfg.chunkTrials);
+                remaining -= batch;
+                sweep.add(
+                    pmTechName(techs[ti]) + "/" +
+                        sparePlanName(static_cast<SparePlan>(pi)) +
+                        " #" + std::to_string(chunk),
+                    [&cfg, ti, pi, batch](Rng &rng) {
+                        SpareTrialConfig tc = cfg.trial;
+                        tc.tech = techs[ti];
+                        tc.plan = static_cast<SparePlan>(pi);
+                        SpareCellResult r;
+                        r.tech = ti;
+                        r.plan = pi;
+                        for (std::uint64_t t = 0; t < batch; ++t)
+                            r.tally += runSpareTrial(tc, rng);
+                        return r;
+                    });
+            }
+        }
+    }
+
+    SpareTotals totals{};
+    for (const auto &out : sweep.run())
+        totals.cells[out.value.tech][out.value.plan] += out.value.tally;
+
+    Table t({"spare plan", "trials", "kills", "rebuilds", "rebuilt",
+             "spared", "abandons", "repairs", "surv bits", "failover",
+             "migrated", "detect", "sdc", "lost", "UE", "no spare",
+             "no repair", "no failover", "late", "violations"});
+    for (unsigned ti = 0; ti < numRasTechs; ++ti) {
+        for (unsigned pi = 0; pi < numSparePlans; ++pi)
+            spareTallyRow(t,
+                          pmTechName(techs[ti]) + "/" +
+                              sparePlanName(
+                                  static_cast<SparePlan>(pi)),
+                          totals.cells[ti][pi]);
+    }
+    spareTallyRow(t, "total", totals.total());
+    t.print(os);
+    return totals;
+}
+
+} // namespace nvck

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <set>
 
+#include "chipkill/scrub.hh"
 #include "chipkill/wear.hh"
 
 namespace nvck {
@@ -218,6 +221,151 @@ TEST(WearOut, DisableBlockAfterWearOutDetection)
         const auto res = rank.readBlock(b, out);
         EXPECT_TRUE(res.dataCorrect) << "block " << b;
     }
+}
+
+// Wear-aware patrol ordering ------------------------------------------
+
+TEST(WearPatrol, OrderIsHottestFirstPermutationUnderRandomHistograms)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        const unsigned spans = 1 + static_cast<unsigned>(rng.below(64));
+        std::vector<std::uint64_t> wear(spans);
+        for (auto &w : wear)
+            w = rng.below(1 + rng.below(1000));
+
+        const std::vector<unsigned> order = wearPatrolOrder(wear);
+        ASSERT_EQ(order.size(), spans);
+        // A permutation: every span visited exactly once per round.
+        std::vector<unsigned> sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        for (unsigned i = 0; i < spans; ++i)
+            ASSERT_EQ(sorted[i], i) << "trial " << trial;
+        // Hottest-first, exact integer comparison; ties break toward
+        // the lower address so the order is a pure function of wear.
+        for (unsigned i = 1; i < spans; ++i) {
+            const unsigned a = order[i - 1], b = order[i];
+            ASSERT_TRUE(wear[a] > wear[b] ||
+                        (wear[a] == wear[b] && a < b))
+                << "trial " << trial << " position " << i;
+        }
+        // The first entry is a maximum of the histogram.
+        ASSERT_EQ(wear[order[0]],
+                  *std::max_element(wear.begin(), wear.end()));
+    }
+}
+
+TEST(WearPatrol, SpanWritesAggregateFrameHistogram)
+{
+    WearLevelledRank rank(60, 4, 41);
+    std::uint8_t data[blockBytes] = {};
+    for (int w = 0; w < 500; ++w) {
+        data[0] = static_cast<std::uint8_t>(w);
+        rank.writeBlock(static_cast<unsigned>(w) % 7, data);
+    }
+    const auto spans = rank.spanWrites(32);
+    ASSERT_EQ(spans.size(), (rank.rank().blocks() + 31) / 32);
+    const std::uint64_t frame_total = std::accumulate(
+        rank.frameWrites().begin(), rank.frameWrites().end(),
+        std::uint64_t{0});
+    const std::uint64_t span_total =
+        std::accumulate(spans.begin(), spans.end(), std::uint64_t{0});
+    EXPECT_EQ(span_total, frame_total);
+    // The hammered logical blocks start in span 0; even with gap
+    // migration the hot span must rank first.
+    EXPECT_EQ(wearPatrolOrder(spans)[0], 0u);
+}
+
+TEST(WearPatrol, ScrubResultsAreVisitOrderInvariant)
+{
+    // Patrol reordering must never change what a full round corrects:
+    // scrubbing every (chip, span) word in address order and in a
+    // wear-ranked permutation yields bit-identical media.
+    Rng rng(43);
+    PmRank addr_rank(128);
+    addr_rank.initialize(rng);
+    for (int i = 0; i < 40; ++i) {
+        addr_rank.corruptByte(
+            static_cast<unsigned>(rng.below(addr_rank.chips())),
+            static_cast<unsigned>(rng.below(addr_rank.blocks())),
+            static_cast<unsigned>(rng.below(chipBeatBytes)),
+            static_cast<std::uint8_t>(1u << rng.below(8)));
+    }
+    PmRank wear_rank(128);
+    wear_rank.restore(addr_rank.snapshot());
+
+    const unsigned spans = addr_rank.blocks() / 32;
+    std::vector<std::uint64_t> hist(spans);
+    for (auto &w : hist)
+        w = rng.below(500);
+    const std::vector<unsigned> ranked = wearPatrolOrder(hist);
+
+    ScrubEngine scrub;
+    std::uint64_t addr_bits = 0, wear_bits = 0;
+    for (unsigned s = 0; s < spans; ++s) {
+        for (unsigned c = 0; c < addr_rank.chips(); ++c) {
+            const int a = scrub.scrubWord(addr_rank, c, s).corrections;
+            const int b =
+                scrub.scrubWord(wear_rank, c, ranked[s]).corrections;
+            ASSERT_GE(a, 0);
+            ASSERT_GE(b, 0);
+            addr_bits += static_cast<unsigned>(a);
+            wear_bits += static_cast<unsigned>(b);
+        }
+    }
+    EXPECT_EQ(addr_bits, wear_bits);
+    EXPECT_GT(addr_bits, 0u);
+    EXPECT_TRUE(addr_rank.isPristine());
+    EXPECT_TRUE(wear_rank.isPristine());
+    EXPECT_EQ(addr_rank.snapshot().chipStore,
+              wear_rank.snapshot().chipStore);
+}
+
+TEST(WearPatrol, PatrolAddressingComposesWithStartGapAndRotation)
+{
+    // A patrol round over wear-ranked spans, addressed through the
+    // start-gap mapping with rotated code layout, must visit every
+    // resident logical block exactly once and read it back correct.
+    WearLevelledRank rank(90, 3, 53);
+    Rng rng(54);
+    std::vector<std::array<std::uint8_t, blockBytes>> truth(
+        rank.blocks());
+    for (unsigned l = 0; l < rank.blocks(); ++l) {
+        for (auto &byte : truth[l])
+            byte = static_cast<std::uint8_t>(rng.next() & 0xFF);
+        rank.writeBlock(l, truth[l].data());
+    }
+    for (int w = 0; w < 400; ++w) {
+        truth[11][0] = static_cast<std::uint8_t>(w);
+        rank.writeBlock(11, truth[11].data());
+    }
+
+    EccRotation rot(264);
+    const std::vector<unsigned> order =
+        wearPatrolOrder(rank.spanWrites(32));
+
+    std::set<unsigned> visited;
+    std::uint8_t out[blockBytes];
+    for (const unsigned span : order) {
+        // Rotation epochs advance per patrol span; the code layout
+        // change must stay invisible to the logical view.
+        Rng code_rng(span + 1);
+        BitVec code(264);
+        code.randomize(code_rng);
+        EXPECT_EQ(rot.unrotate(rot.rotate(code)), code);
+        rot.nextEpoch();
+
+        for (unsigned l = 0; l < rank.blocks(); ++l) {
+            if (rank.gapMapper().physical(l) / 32 != span)
+                continue;
+            ASSERT_TRUE(visited.insert(l).second) << l;
+            const auto res = rank.readBlock(l, out);
+            ASSERT_NE(res.path, ReadPath::Failed);
+            ASSERT_EQ(std::memcmp(out, truth[l].data(), blockBytes), 0)
+                << "logical block " << l;
+        }
+    }
+    EXPECT_EQ(visited.size(), rank.blocks());
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/env.hh"
+#include "sim/ras.hh"
 
 using namespace nvck;
 
@@ -92,4 +93,40 @@ TEST(EnvParseDeathTest, GarbageChoiceKnobExitsWithError)
                 ::testing::ExitedWithCode(2),
                 "NVCK_TEST_KNOB.*scalar, sliced.*'vectorized'");
     ::unsetenv("NVCK_TEST_KNOB");
+}
+
+// The hot-sparing knobs ride the same strict parser end to end
+// through RasConfig::fromEnv(). (Test names deliberately avoid the
+// TSan CI regex tokens; see the file comment.)
+
+TEST(EnvParseDeathTest, GarbageArmedKnobExitsWithError)
+{
+    ::setenv("NVCK_SPARE_ARMED", "maybe", 1);
+    EXPECT_EXIT(RasConfig::fromEnv(), ::testing::ExitedWithCode(2),
+                "NVCK_SPARE_ARMED.*off, on.*'maybe'");
+    ::unsetenv("NVCK_SPARE_ARMED");
+}
+
+TEST(EnvParseDeathTest, GarbageRebuildBlocksKnobExitsWithError)
+{
+    ::setenv("NVCK_SPARE_REBUILD_BLOCKS", "-32", 1);
+    EXPECT_EXIT(RasConfig::fromEnv(), ::testing::ExitedWithCode(2),
+                "NVCK_SPARE_REBUILD_BLOCKS.*'-32'");
+    ::unsetenv("NVCK_SPARE_REBUILD_BLOCKS");
+}
+
+TEST(EnvParseDeathTest, GarbageRebuildIntervalKnobExitsWithError)
+{
+    ::setenv("NVCK_SPARE_REBUILD_INTERVAL", "60ns", 1);
+    EXPECT_EXIT(RasConfig::fromEnv(), ::testing::ExitedWithCode(2),
+                "NVCK_SPARE_REBUILD_INTERVAL.*'60ns'");
+    ::unsetenv("NVCK_SPARE_REBUILD_INTERVAL");
+}
+
+TEST(EnvParseDeathTest, GarbagePatrolOrderKnobExitsWithError)
+{
+    ::setenv("NVCK_RAS_PATROL_ORDER", "hottest", 1);
+    EXPECT_EXIT(RasConfig::fromEnv(), ::testing::ExitedWithCode(2),
+                "NVCK_RAS_PATROL_ORDER.*wear, addr.*'hottest'");
+    ::unsetenv("NVCK_RAS_PATROL_ORDER");
 }

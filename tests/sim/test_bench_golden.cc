@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/spare.hh"
 #include "sweeps.hh"
 
 namespace nvck {
@@ -36,6 +37,22 @@ fig04Adapter(std::ostream &os, const SweepOptions &opts,
              const BenchScale &)
 {
     fig04StorageVsCodeword(os, opts); // purely analytic: no scale knob
+}
+
+void
+spareCampaignAdapter(std::ostream &os, const SweepOptions &opts,
+                     const BenchScale &)
+{
+    // Tiny replayable hot-sparing campaign: every (tech x plan) cell
+    // twice, same shape the unit tests drive. Locks the full table —
+    // rebuild/abandon/repair counters included — byte for byte.
+    SpareCampaignConfig cfg;
+    cfg.seed = 47;
+    cfg.trials = 16;
+    cfg.chunkTrials = 2;
+    cfg.trial.rankBlocks = 256;
+    cfg.trial.horizon = nsToTicks(12000);
+    spareCampaign(os, opts, cfg);
 }
 
 struct GoldenCase
@@ -52,6 +69,7 @@ const GoldenCase kCases[] = {
     {"boot_scrub", bootScrubCampaign},
     {"wear_leveling", wearLevelingCampaign},
     {"fault_sweep", faultSweep},
+    {"spare_campaign", spareCampaignAdapter},
 };
 
 std::string

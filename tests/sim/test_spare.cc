@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Hot-spare subsystem: span-paced spare rebuild bit-identity against
+ * the never-failed rank, repair/migrate-back restoring the exact
+ * pre-failure image, the spare-loss fallback to degraded failover
+ * under live traffic with no lost durable write, and the hot-sparing
+ * campaign's oracle + worker-count determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "chipkill/schemes.hh"
+#include "common/threadpool.hh"
+#include "sim/spare.hh"
+
+namespace nvck {
+namespace {
+
+// SpareChip rebuild / migrate-back bit-identity ------------------------
+
+void
+expectSnapshotsEqual(const RankSnapshot &a, const RankSnapshot &b)
+{
+    EXPECT_EQ(a.chipStore, b.chipStore);
+    EXPECT_EQ(a.goldenStore, b.goldenStore);
+    EXPECT_EQ(a.stuckMask, b.stuckMask);
+    EXPECT_EQ(a.stuckVal, b.stuckVal);
+    EXPECT_EQ(a.disabled, b.disabled);
+    EXPECT_EQ(a.poisoned, b.poisoned);
+    ASSERT_EQ(a.codeStore.size(), b.codeStore.size());
+    for (std::size_t c = 0; c < a.codeStore.size(); ++c) {
+        EXPECT_TRUE(a.codeStore[c] == b.codeStore[c]) << c;
+        EXPECT_TRUE(a.goldenCode[c] == b.goldenCode[c]) << c;
+    }
+}
+
+TEST(SpareChip, RebuildRestoresNeverFailedImage)
+{
+    Rng rng(314);
+    PmRank rank(128);
+    rank.initialize(rng);
+    const RankSnapshot before = rank.snapshot();
+
+    // Correctable survivor wear: the pre-fill scrubs must vouch for
+    // (and fix) these before the erasure fill trusts the survivors.
+    // Chip 5 is about to die, so wear goes on the other lanes only.
+    for (int i = 0; i < 10; ++i) {
+        unsigned chip =
+            static_cast<unsigned>(rng.below(rank.chips() - 1));
+        if (chip >= 5)
+            ++chip;
+        rank.corruptByte(chip,
+                         static_cast<unsigned>(rng.below(rank.blocks())),
+                         static_cast<unsigned>(rng.below(chipBeatBytes)),
+                         static_cast<std::uint8_t>(1u << rng.below(8)));
+    }
+    rank.failChip(5, rng);
+
+    SpareChip spare(rank, 2);
+    spare.beginRebuild(5);
+    EXPECT_EQ(spare.state(), SpareState::Rebuilding);
+    unsigned steps = 0;
+    std::vector<int> survivors;
+    while (!spare.rebuildDone()) {
+        // Deliberately not span-aligned: rounding up must compose.
+        EXPECT_GT(spare.rebuildStep(17, &survivors), 0u);
+        EXPECT_EQ(survivors.size(), rank.chips());
+        EXPECT_EQ(survivors[5], 0); // the dead lane is never scrubbed
+        ++steps;
+    }
+    EXPECT_EQ(spare.state(), SpareState::Active);
+    EXPECT_EQ(spare.watermark(), rank.blocks());
+    EXPECT_GE(steps, rank.blocks() / 32);
+    EXPECT_EQ(spare.poisonedBlocks(), 0u);
+    // Distinct (chip, block, byte, bit) draws can collide and cancel;
+    // with this seed all ten flips survive to be scrubbed.
+    EXPECT_GE(spare.survivorBitsFixed(), 9u);
+
+    // The rebuilt rank is bit-identical to one that never failed:
+    // survivor wear scrubbed out, the dead lane erasure-filled, and
+    // its VLEW code re-encoded.
+    expectSnapshotsEqual(rank.snapshot(), before);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(SpareChip, MigrateBackRestoresNeverFailedImage)
+{
+    Rng rng(2718);
+    PmRank rank(128);
+    rank.initialize(rng);
+    const RankSnapshot before = rank.snapshot();
+
+    rank.failChip(2, rng);
+    SpareChip spare(rank, 2);
+    spare.beginRebuild(2);
+    while (!spare.rebuildDone())
+        spare.rebuildStep(64);
+    ASSERT_EQ(spare.state(), SpareState::Active);
+
+    // Latent wear accumulates on the spare while it carries the lane;
+    // the copy-back must verify-and-correct, not copy it onto the
+    // replacement device.
+    for (int i = 0; i < 6; ++i) {
+        rank.corruptByte(2,
+                         static_cast<unsigned>(rng.below(rank.blocks())),
+                         static_cast<unsigned>(rng.below(chipBeatBytes)),
+                         static_cast<std::uint8_t>(1u << rng.below(8)));
+    }
+
+    spare.beginMigrateBack();
+    EXPECT_EQ(spare.state(), SpareState::CopyingBack);
+    while (!spare.migrateBackDone())
+        EXPECT_GT(spare.migrateBackStep(40), 0u);
+    EXPECT_EQ(spare.backWatermark(), rank.blocks());
+    EXPECT_GE(spare.latentBitsFixed(), 6u);
+    // Re-armed for the next kill.
+    EXPECT_EQ(spare.state(), SpareState::Armed);
+
+    expectSnapshotsEqual(rank.snapshot(), before);
+    EXPECT_TRUE(rank.isPristine());
+}
+
+TEST(SpareChip, UnvouchedSurvivorPoisonsTheSpanInsteadOfMixing)
+{
+    Rng rng(99);
+    PmRank rank(64);
+    rank.initialize(rng);
+    rank.failChip(7, rng);
+
+    // A survivor span with more errors than its 22-EC VLEW can carry:
+    // the erasure fill has no redundancy left to notice, so the
+    // rebuild must poison the span rather than risk silent garbage.
+    for (unsigned block = 0; block < 32; ++block) {
+        for (unsigned byte = 0; byte < chipBeatBytes; ++byte)
+            rank.corruptByte(1, block, byte, 0xff);
+    }
+
+    SpareChip spare(rank, 2);
+    spare.beginRebuild(7);
+    std::vector<int> survivors;
+    spare.rebuildStep(32, &survivors);
+    EXPECT_EQ(survivors[1], -1);
+    EXPECT_EQ(spare.poisonedBlocks(), 32u);
+    for (unsigned b = 0; b < 32; ++b)
+        EXPECT_TRUE(rank.isPoisoned(b)) << b;
+
+    // The untouched second span still rebuilds cleanly.
+    spare.rebuildStep(32, &survivors);
+    EXPECT_TRUE(spare.rebuildDone());
+    EXPECT_EQ(spare.poisonedBlocks(), 32u);
+}
+
+// Live-system service routes ------------------------------------------
+
+/** A booted System + mirrored rank, shaped like one campaign trial. */
+struct SpareRig
+{
+    SystemConfig cfg;
+    System sys;
+    PmRank rank;
+    PersistOracle oracle;
+    RasMirror mirror;
+
+    static SystemConfig
+    makeCfg(unsigned blocks, std::uint64_t seed)
+    {
+        SystemConfig cfg = SystemConfig::make(
+            PmTech::Reram, proposalScheme(runtimeRberFor(PmTech::Reram)),
+            "echo", seed | 1);
+        cfg.cores = 2;
+        cfg.cache.cores = 2;
+        cfg.cache.l1Bytes = 8 * 1024;
+        cfg.cache.llcBytes = 64 * 1024;
+        cfg.cache.llcWays = 8;
+        cfg.mem.dram.banks = 4;
+        cfg.mem.pm.banks = 4;
+        cfg.mem.writeMaxAge = nsToTicks(400);
+        cfg.mem.writeIdleBurst = 4;
+        cfg.mem.writeDrainHigh = 24;
+        cfg.mem.writeDrainLow = 8;
+        cfg.space.pmBase = 0;
+        cfg.space.pmBytes =
+            static_cast<std::uint64_t>(blocks) * blockBytes;
+        cfg.space.dramBytes = 1u << 20;
+        return cfg;
+    }
+
+    static PmRank
+    makeRank(unsigned blocks, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        PmRank rank(blocks);
+        rank.initialize(rng);
+        return rank;
+    }
+
+    SpareRig(unsigned blocks, std::uint64_t seed, const RasConfig &ras)
+        : cfg(makeCfg(blocks, seed)),
+          sys(cfg,
+              std::make_unique<CampaignWorkload>(cfg.space, 2, seed + 1)),
+          rank(makeRank(blocks, seed + 2)), oracle(blocks),
+          mirror(sys, rank, oracle, ras, 2, seed + 3)
+    {
+        std::uint8_t buf[blockBytes];
+        for (unsigned b = 0; b < blocks; ++b) {
+            rank.goldenBlock(b, buf);
+            oracle.setBaseline(b, buf);
+        }
+        mirror.engine().start();
+        sys.start();
+    }
+};
+
+RasConfig
+sparedConfig()
+{
+    RasConfig ras;
+    ras.spareEnabled = true;
+    return ras;
+}
+
+TEST(SpareLive, KillRebuildsOntoSpareAtFullStrength)
+{
+    SpareRig rig(256, 6001, sparedConfig());
+    rig.sys.runUntil(nsToTicks(500));
+    rig.mirror.engine().noteChipErrors(4, 1000);
+    rig.sys.runUntil(nsToTicks(14000));
+
+    EXPECT_TRUE(rig.mirror.spared());
+    EXPECT_FALSE(rig.mirror.completed()); // no degraded migration ran
+    EXPECT_EQ(rig.mirror.engine().state(), RasState::Spared);
+    EXPECT_EQ(rig.mirror.engine().stats().rebuildsStarted, 1u);
+    EXPECT_EQ(rig.mirror.engine().stats().rebuiltBlocks,
+              rig.rank.blocks());
+    ASSERT_NE(rig.mirror.spareChip(), nullptr);
+    EXPECT_EQ(rig.mirror.spareChip()->state(), SpareState::Active);
+    EXPECT_EQ(rig.mirror.spareChip()->poisonedBlocks(), 0u);
+
+    RasTally tally;
+    rig.mirror.finalCheck(tally);
+    EXPECT_EQ(tally.sdc, 0u);
+    EXPECT_EQ(tally.lostDurable, 0u);
+    EXPECT_EQ(tally.ue, 0u);
+}
+
+TEST(SpareLive, SpareDeathMidRebuildFallsBackToDegraded)
+{
+    RasConfig ras = sparedConfig();
+    // Slow pacing so the rebuild is reliably caught in flight.
+    ras.rebuildStepInterval = nsToTicks(500);
+    SpareRig rig(256, 7003, ras);
+    RasEngine &eng = rig.mirror.engine();
+
+    rig.sys.runUntil(nsToTicks(500));
+    eng.noteChipErrors(6, 1000);
+    Tick t = nsToTicks(500);
+    while (t < nsToTicks(20000) &&
+           !(eng.state() == RasState::Rebuilding &&
+             eng.rebuildWatermark() >= rig.rank.blocks() / 2)) {
+        t += nsToTicks(50);
+        rig.sys.runUntil(t);
+    }
+    ASSERT_EQ(eng.state(), RasState::Rebuilding);
+
+    // The spare device dies mid-rebuild: its trouble bucket crosses
+    // and the engine must abandon the spare, re-drain, and complete
+    // the PR-9 degraded failover instead — losing nothing durable.
+    eng.noteSpareErrors(1000);
+    rig.sys.runUntil(t + nsToTicks(16000));
+
+    EXPECT_TRUE(rig.mirror.spareAbandoned());
+    EXPECT_FALSE(rig.mirror.spared());
+    EXPECT_TRUE(rig.mirror.completed());
+    EXPECT_EQ(eng.state(), RasState::Degraded);
+    EXPECT_EQ(eng.stats().spareAbandons, 1u);
+    EXPECT_EQ(eng.watermark(), rig.rank.blocks());
+    ASSERT_NE(rig.mirror.spareChip(), nullptr);
+    EXPECT_EQ(rig.mirror.spareChip()->state(), SpareState::Abandoned);
+
+    RasTally tally;
+    rig.mirror.finalCheck(tally);
+    EXPECT_EQ(tally.sdc, 0u);
+    EXPECT_EQ(tally.lostDurable, 0u);
+    EXPECT_EQ(tally.ue, 0u);
+}
+
+TEST(SpareLive, ChipReplacedMigratesBackToHealthy)
+{
+    SpareRig rig(256, 8005, sparedConfig());
+    RasEngine &eng = rig.mirror.engine();
+
+    rig.sys.runUntil(nsToTicks(500));
+    eng.noteChipErrors(1, 1000);
+    Tick t = nsToTicks(500);
+    while (t < nsToTicks(20000) && eng.state() != RasState::Spared) {
+        t += nsToTicks(100);
+        rig.sys.runUntil(t);
+    }
+    ASSERT_EQ(eng.state(), RasState::Spared);
+
+    eng.chipReplaced();
+    rig.sys.runUntil(t + nsToTicks(12000));
+
+    EXPECT_TRUE(rig.mirror.repaired());
+    EXPECT_EQ(eng.state(), RasState::Healthy);
+    EXPECT_EQ(eng.stats().repairs, 1u);
+    ASSERT_NE(rig.mirror.spareChip(), nullptr);
+    EXPECT_EQ(rig.mirror.spareChip()->state(), SpareState::Armed);
+    EXPECT_GE(eng.stats().repairedAt, eng.stats().sparedAt);
+
+    RasTally tally;
+    rig.mirror.finalCheck(tally);
+    EXPECT_EQ(tally.sdc, 0u);
+    EXPECT_EQ(tally.lostDurable, 0u);
+    EXPECT_EQ(tally.ue, 0u);
+}
+
+// Campaign ------------------------------------------------------------
+
+SpareCampaignConfig
+smallCampaign()
+{
+    SpareCampaignConfig cfg;
+    cfg.seed = 47;
+    cfg.trials = 16;
+    cfg.chunkTrials = 2;
+    cfg.trial.rankBlocks = 256;
+    cfg.trial.horizon = nsToTicks(12000);
+    return cfg;
+}
+
+TEST(SpareCampaign, ServiceRoutesHoldTheOracle)
+{
+    std::ostringstream os;
+    SweepOptions opts;
+    ThreadPool pool(2);
+    opts.pool = &pool;
+    const SpareCampaignConfig cfg = smallCampaign();
+    const SpareTotals totals = spareCampaign(os, opts, cfg);
+
+    EXPECT_EQ(totals.violations(), 0u);
+    const RasTally sum = totals.total();
+    EXPECT_EQ(sum.trials, cfg.trials);
+    EXPECT_GT(sum.kills, 0u);
+    EXPECT_GT(sum.rebuilds, 0u);
+    // Every rebuild-plan trial reached Spared, every repair-plan trial
+    // came all the way back to Healthy, and every spare-loss trial
+    // fell back to a completed degraded migration.
+    for (unsigned ti = 0; ti < numRasTechs; ++ti) {
+        const auto &cells = totals.cells[ti];
+        const auto plan = [&cells](SparePlan p) -> const RasTally & {
+            return cells[static_cast<unsigned>(p)];
+        };
+        EXPECT_EQ(plan(SparePlan::Unarmed).failovers,
+                  plan(SparePlan::Unarmed).trials);
+        EXPECT_EQ(plan(SparePlan::Rebuild).spared,
+                  plan(SparePlan::Rebuild).trials);
+        EXPECT_EQ(plan(SparePlan::SpareLoss).failovers,
+                  plan(SparePlan::SpareLoss).trials);
+        EXPECT_EQ(plan(SparePlan::Repair).repairs,
+                  plan(SparePlan::Repair).trials);
+        EXPECT_EQ(plan(SparePlan::Unarmed).rebuilds, 0u);
+    }
+    EXPECT_NE(os.str().find("spare-loss"), std::string::npos);
+}
+
+TEST(SpareCampaign, OutputIsByteIdenticalAcrossWorkerCounts)
+{
+    const SpareCampaignConfig cfg = smallCampaign();
+    std::string outputs[2];
+    const unsigned workers[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+        std::ostringstream os;
+        SweepOptions opts;
+        ThreadPool pool(workers[i]);
+        opts.pool = &pool;
+        spareCampaign(os, opts, cfg);
+        outputs[i] = os.str();
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+// Env knobs -----------------------------------------------------------
+
+TEST(SpareEnv, FromEnvOverridesSpareKnobs)
+{
+    ::setenv("NVCK_SPARE_ARMED", "on", 1);
+    ::setenv("NVCK_SPARE_REBUILD_BLOCKS", "48", 1);
+    ::setenv("NVCK_SPARE_REBUILD_INTERVAL", "120", 1);
+    ::setenv("NVCK_RAS_PATROL_ORDER", "addr", 1);
+    const RasConfig cfg = RasConfig::fromEnv();
+    EXPECT_TRUE(cfg.spareEnabled);
+    EXPECT_EQ(cfg.rebuildBlocksPerStep, 48u);
+    EXPECT_EQ(cfg.rebuildStepInterval, nsToTicks(120));
+    EXPECT_FALSE(cfg.wearAwarePatrol);
+    ::unsetenv("NVCK_SPARE_ARMED");
+    ::unsetenv("NVCK_SPARE_REBUILD_BLOCKS");
+    ::unsetenv("NVCK_SPARE_REBUILD_INTERVAL");
+    ::unsetenv("NVCK_RAS_PATROL_ORDER");
+
+    const RasConfig defaults = RasConfig::fromEnv();
+    EXPECT_FALSE(defaults.spareEnabled);
+    EXPECT_TRUE(defaults.wearAwarePatrol);
+}
+
+} // namespace
+} // namespace nvck
